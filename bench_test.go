@@ -1,0 +1,175 @@
+// Package diffuse's benchmark suite regenerates every table and figure of
+// the paper's evaluation (§7) as Go benchmarks — one per table/figure —
+// plus real-execution microbenchmarks that demonstrate the fusion speedup
+// with actual wall-clock time on this machine.
+//
+//	go test -bench=. -benchmem
+//
+// Simulated benchmarks report custom metrics: iters/s per variant and the
+// fused/unfused speedup. cmd/diffuse-bench prints the full tables.
+package diffuse_test
+
+import (
+	"testing"
+
+	"diffuse/cunum"
+	"diffuse/internal/apps"
+	"diffuse/internal/bench"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+// benchGPUs keeps the per-benchmark simulation cost modest; diffuse-bench
+// sweeps the full 1..128 axis.
+var benchGPUs = []int{1, 8, 128}
+
+func runFigure(b *testing.B, id string) {
+	var fig bench.Figure
+	for _, f := range bench.Figures(1.0) {
+		if f.ID == id {
+			fig = f
+		}
+	}
+	if fig.ID == "" {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		var series []bench.Series
+		for _, v := range fig.Variants {
+			series = append(series, bench.WeakScale(v, benchGPUs, fig.Warmup, fig.Iters))
+		}
+		for _, s := range series {
+			b.ReportMetric(s.Throughput[8], s.Name+"_iters/s@8gpu")
+		}
+		if len(series) >= 2 {
+			b.ReportMetric(bench.GeoMeanSpeedup(series[0], series[len(series)-1]), "fused/unfused_geomean")
+		}
+	}
+}
+
+// BenchmarkFig10aBlackScholes regenerates Fig. 10a (Black-Scholes weak
+// scaling, fused vs unfused).
+func BenchmarkFig10aBlackScholes(b *testing.B) { runFigure(b, "fig10a") }
+
+// BenchmarkFig10bJacobi regenerates Fig. 10b (dense Jacobi iteration).
+func BenchmarkFig10bJacobi(b *testing.B) { runFigure(b, "fig10b") }
+
+// BenchmarkFig11aCG regenerates Fig. 11a (CG: Fused vs PETSc vs
+// Manually-Fused vs Unfused).
+func BenchmarkFig11aCG(b *testing.B) { runFigure(b, "fig11a") }
+
+// BenchmarkFig11bBiCGSTAB regenerates Fig. 11b (BiCGSTAB: Fused vs PETSc
+// vs Unfused).
+func BenchmarkFig11bBiCGSTAB(b *testing.B) { runFigure(b, "fig11b") }
+
+// BenchmarkFig12aGMG regenerates Fig. 12a (geometric multigrid).
+func BenchmarkFig12aGMG(b *testing.B) { runFigure(b, "fig12a") }
+
+// BenchmarkFig12bCFD regenerates Fig. 12b (Navier-Stokes).
+func BenchmarkFig12bCFD(b *testing.B) { runFigure(b, "fig12b") }
+
+// BenchmarkFig12cTorchSWE regenerates Fig. 12c (shallow water equations).
+func BenchmarkFig12cTorchSWE(b *testing.B) { runFigure(b, "fig12c") }
+
+// BenchmarkFig09TaskCounts regenerates the Fig. 9 table (index tasks per
+// iteration with and without fusion, average task granularity, window
+// size).
+func BenchmarkFig09TaskCounts(b *testing.B) {
+	makers := bench.AppMakers(1.0)
+	for i := 0; i < b.N; i++ {
+		for _, name := range bench.BenchmarkOrder {
+			row := bench.MeasureTaskStats(name, makers[name], 3)
+			b.ReportMetric(row.TasksPerIter, name+"_tasks/iter")
+			b.ReportMetric(row.FusedPerIter, name+"_fused/iter")
+		}
+	}
+}
+
+// BenchmarkFig13Compilation regenerates the Fig. 13 table (warmup times
+// with and without JIT compilation, breakeven iterations, 8 GPUs).
+func BenchmarkFig13Compilation(b *testing.B) {
+	makers := bench.AppMakers(1.0)
+	for i := 0; i < b.N; i++ {
+		for _, name := range bench.BenchmarkOrder {
+			row := bench.MeasureCompileStats(name, makers[name], 2)
+			b.ReportMetric(row.CompiledSec, name+"_warmup_s")
+			b.ReportMetric(row.BreakevenIts, name+"_breakeven")
+		}
+	}
+}
+
+// --- Real-execution benchmarks: actual wall-clock on this machine. ---
+
+func realCtx(fused bool, procs int) *cunum.Context {
+	cfg := core.DefaultConfig(procs)
+	cfg.Enabled = fused
+	cfg.Mode = legion.ModeReal
+	cfg.Machine = machine.DefaultA100(procs)
+	return cunum.NewContext(core.New(cfg))
+}
+
+func benchRealBlackScholes(b *testing.B, fused bool) {
+	ctx := realCtx(fused, 8)
+	bs := apps.NewBlackScholes(ctx, 1<<15)
+	bs.Iterate(3) // warmup: window growth, compile, memo saturation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.Iterate(1)
+	}
+}
+
+// BenchmarkRealBlackScholesFused prices 256K options per iteration through
+// the full Diffuse pipeline with real execution.
+func BenchmarkRealBlackScholesFused(b *testing.B) { benchRealBlackScholes(b, true) }
+
+// BenchmarkRealBlackScholesUnfused is the pass-through baseline.
+func BenchmarkRealBlackScholesUnfused(b *testing.B) { benchRealBlackScholes(b, false) }
+
+func benchRealStencil(b *testing.B, fused bool) {
+	const n = 512
+	ctx := realCtx(fused, 8)
+	grid := ctx.Random(7, n+2, n+2)
+	center := grid.Slice([]int{1, 1}, []int{-1, -1})
+	north := grid.Slice([]int{0, 1}, []int{n, -1})
+	east := grid.Slice([]int{1, 2}, []int{n + 1, n + 2})
+	west := grid.Slice([]int{1, 0}, []int{n + 1, n})
+	south := grid.Slice([]int{2, 1}, []int{n + 2, n + 1})
+	step := func() {
+		avg := center.Add(north).Add(east).Add(west).Add(south)
+		work := avg.MulC(0.2)
+		center.Assign(work)
+		ctx.Flush()
+	}
+	step()
+	step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkRealStencilFused runs the Fig. 1 five-point stencil with real
+// execution and fusion on.
+func BenchmarkRealStencilFused(b *testing.B) { benchRealStencil(b, true) }
+
+// BenchmarkRealStencilUnfused is the unfused baseline.
+func BenchmarkRealStencilUnfused(b *testing.B) { benchRealStencil(b, false) }
+
+func benchRealCG(b *testing.B, fused bool) {
+	ctx := realCtx(fused, 8)
+	A := apps.BuildPoisson2D(ctx, 96)
+	rhs := ctx.Ones(A.Rows())
+	cg := apps.NewCG(ctx, A, rhs, false)
+	cg.Iterate(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.Iterate(1)
+	}
+}
+
+// BenchmarkRealCGFused runs sparse CG (9216 unknowns) with fusion on.
+func BenchmarkRealCGFused(b *testing.B) { benchRealCG(b, true) }
+
+// BenchmarkRealCGUnfused is the unfused baseline.
+func BenchmarkRealCGUnfused(b *testing.B) { benchRealCG(b, false) }

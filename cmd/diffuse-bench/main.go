@@ -1,0 +1,152 @@
+// Command diffuse-bench regenerates every table and figure of the paper's
+// evaluation (§7) on the simulated cluster:
+//
+//	diffuse-bench -all                 # everything
+//	diffuse-bench -fig 10a             # one figure (9, 10a, 10b, 11a, 11b, 12a, 12b, 12c, 13)
+//	diffuse-bench -gpus 1,8,64         # restrict the weak-scaling x-axis
+//	diffuse-bench -scale 0.25          # shrink per-GPU problem sizes
+//	diffuse-bench -ablate taskonly     # task fusion without kernel fusion
+//	diffuse-bench -ablate notemp       # no temporary-store elimination
+//	diffuse-bench -ablate nomemo       # no memoization
+//	diffuse-bench -ablate window       # window-size sensitivity sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"diffuse/internal/bench"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "figure/table id: 9, 10a, 10b, 11a, 11b, 12a, 12b, 12c, 13")
+		allFlag   = flag.Bool("all", false, "run everything")
+		gpusFlag  = flag.String("gpus", "1,2,4,8,16,32,64,128", "comma-separated GPU counts")
+		scaleFlag = flag.Float64("scale", 1.0, "per-GPU problem size multiplier")
+		ablate    = flag.String("ablate", "", "ablation: taskonly | notemp | nomemo | window")
+	)
+	flag.Parse()
+
+	gpus := parseGPUs(*gpusFlag)
+	sc := bench.Scale(*scaleFlag)
+	out := os.Stdout
+
+	if *ablate != "" {
+		runAblation(*ablate, sc, gpus)
+		return
+	}
+
+	want := func(id string) bool {
+		return *allFlag || *figFlag == "" || strings.EqualFold("fig"+*figFlag, id) || strings.EqualFold(*figFlag, id)
+	}
+
+	var headline []string
+	for _, f := range bench.Figures(sc) {
+		if !want(f.ID) {
+			continue
+		}
+		series := f.Run(out, gpus)
+		if len(series) >= 2 {
+			g := bench.GeoMeanSpeedup(series[0], series[len(series)-1])
+			headline = append(headline, fmt.Sprintf("%s: fused/unfused geo-mean %.2fx", f.ID, g))
+		}
+	}
+
+	if want("fig9") {
+		makers := bench.AppMakers(sc)
+		var rows []bench.TaskStats
+		for _, name := range bench.BenchmarkOrder {
+			rows = append(rows, bench.MeasureTaskStats(name, makers[name], 4))
+		}
+		bench.PrintTaskStats(out, rows)
+	}
+
+	if want("fig13") {
+		makers := bench.AppMakers(sc)
+		var rows []bench.CompileStats
+		for _, name := range bench.BenchmarkOrder {
+			rows = append(rows, bench.MeasureCompileStats(name, makers[name], 2))
+		}
+		bench.PrintCompileStats(out, rows)
+	}
+
+	if len(headline) > 0 {
+		fmt.Fprintln(out, "\n== headline ==")
+		for _, h := range headline {
+			fmt.Fprintln(out, " ", h)
+		}
+	}
+}
+
+func parseGPUs(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad gpu count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runAblation quantifies the design choices DESIGN.md calls out, on the CG
+// workload at 8 GPUs.
+func runAblation(kind string, sc bench.Scale, gpus []int) {
+	mkCfg := func(mod func(*core.Config)) func(g int) bench.Instance {
+		return func(g int) bench.Instance {
+			cfg := core.DefaultConfig(g)
+			cfg.Mode = legion.ModeSim
+			cfg.Machine = machine.DefaultA100(g)
+			mod(&cfg)
+			ctx := bench.SimContextCfg(cfg)
+			return bench.CGOn(ctx, sc)
+		}
+	}
+	switch kind {
+	case "taskonly":
+		compare("kernel fusion ablation (CG, 8 GPUs)",
+			bench.Variant{Name: "task+kernel", Make: mkCfg(func(*core.Config) {})},
+			bench.Variant{Name: "task-only", Make: mkCfg(func(c *core.Config) { c.TaskFusionOnly = true })})
+	case "notemp":
+		compare("temporary elimination ablation (CG, 8 GPUs)",
+			bench.Variant{Name: "with-temp-elim", Make: mkCfg(func(*core.Config) {})},
+			bench.Variant{Name: "no-temp-elim", Make: mkCfg(func(c *core.Config) { c.NoTempElim = true })})
+	case "nomemo":
+		compare("memoization ablation (CG, 8 GPUs)",
+			bench.Variant{Name: "with-memo", Make: mkCfg(func(*core.Config) {})},
+			bench.Variant{Name: "no-memo", Make: mkCfg(func(c *core.Config) { c.NoMemo = true })})
+	case "window":
+		fmt.Println("window-size sensitivity (CG, 8 GPUs)")
+		for _, w := range []int{1, 2, 5, 10, 20, 40, 80} {
+			v := bench.Variant{Name: fmt.Sprintf("w=%d", w), Make: mkCfg(func(c *core.Config) {
+				c.InitialWindow = w
+				c.MaxWindow = w
+			})}
+			s := bench.WeakScale(v, []int{8}, 4, 10)
+			fmt.Printf("  window %3d: %8.2f iters/s\n", w, s.Throughput[8])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", kind)
+		os.Exit(2)
+	}
+}
+
+func compare(title string, a, b bench.Variant) {
+	fmt.Println(title)
+	sa := bench.WeakScale(a, []int{8}, 4, 10)
+	sb := bench.WeakScale(b, []int{8}, 4, 10)
+	fmt.Printf("  %-16s %8.2f iters/s\n", a.Name, sa.Throughput[8])
+	fmt.Printf("  %-16s %8.2f iters/s\n", b.Name, sb.Throughput[8])
+	fmt.Printf("  ratio: %.2fx\n", sa.Throughput[8]/sb.Throughput[8])
+}

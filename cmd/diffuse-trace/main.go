@@ -1,0 +1,112 @@
+// Command diffuse-trace runs a workload and prints the task stream Diffuse
+// emits to the underlying runtime, annotated with fusion decisions — a
+// debugging lens onto §4's algorithm:
+//
+//	diffuse-trace -app stencil -iters 2
+//	diffuse-trace -app cg -unfused
+//	diffuse-trace -app swe -gpus 1        # single-point relaxed fusion
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diffuse/cunum"
+	"diffuse/internal/apps"
+	"diffuse/internal/core"
+	"diffuse/internal/ir"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "stencil", "workload: stencil | blackscholes | jacobi | cg | bicgstab | gmg | cfd | swe")
+		iters   = flag.Int("iters", 1, "iterations to trace (after warmup)")
+		gpus    = flag.Int("gpus", 4, "processors")
+		unfused = flag.Bool("unfused", false, "disable fusion")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*gpus)
+	cfg.Enabled = !*unfused
+	rt := core.New(cfg)
+	ctx := cunum.NewContext(rt)
+
+	iterate := buildApp(ctx, *app)
+	iterate(3) // warmup: window growth, compilation, memoization
+
+	var total, fused, originals int
+	rt.Legion().Trace = func(t *ir.Task) {
+		total++
+		tag := ""
+		if t.FusedFrom > 0 {
+			fused++
+			originals += t.FusedFrom
+			tag = fmt.Sprintf("  <- fusion of %d tasks", t.FusedFrom)
+		}
+		nloops := 0
+		locals := 0
+		if t.Kernel != nil {
+			nloops = len(t.Kernel.Loops)
+			for _, l := range t.Kernel.Local {
+				if l {
+					locals++
+				}
+			}
+		}
+		fmt.Printf("%-12s launch=%-8v args=%-3d loops=%-3d temps=%-3d%s\n",
+			t.Name, t.Launch.Extents(), len(t.Args), nloops, locals, tag)
+	}
+	iterate(*iters)
+
+	st := rt.Stats()
+	fmt.Printf("\n%d tasks executed (%d fusions covering %d original tasks)\n", total, fused, originals)
+	fmt.Printf("window size %d, %d temporaries eliminated, memo %d/%d hits\n",
+		st.WindowSize, st.TempsEliminated, st.MemoHits, st.MemoHits+st.MemoMisses)
+}
+
+func buildApp(ctx *cunum.Context, name string) func(int) {
+	switch name {
+	case "stencil":
+		const n = 64
+		grid := ctx.Random(42, n+2, n+2)
+		center := grid.Slice([]int{1, 1}, []int{-1, -1})
+		north := grid.Slice([]int{0, 1}, []int{n, -1})
+		east := grid.Slice([]int{1, 2}, []int{n + 1, n + 2})
+		west := grid.Slice([]int{1, 0}, []int{n + 1, n})
+		south := grid.Slice([]int{2, 1}, []int{n + 2, n + 1})
+		return func(k int) {
+			for i := 0; i < k; i++ {
+				avg := center.Add(north).Add(east).Add(west).Add(south)
+				center.Assign(avg.MulC(0.2))
+				ctx.Flush()
+			}
+		}
+	case "blackscholes":
+		a := apps.NewBlackScholes(ctx, 1024)
+		return a.Iterate
+	case "jacobi":
+		a := apps.NewJacobiTotal(ctx, 256)
+		return a.Iterate
+	case "cg":
+		A := apps.BuildPoisson2D(ctx, 32)
+		b := ctx.Ones(A.Rows())
+		return apps.NewCG(ctx, A, b, false).Iterate
+	case "bicgstab":
+		A := apps.BuildPoisson2D(ctx, 32)
+		b := ctx.Ones(A.Rows())
+		return apps.NewBiCGSTAB(ctx, A, b).Iterate
+	case "gmg":
+		n := 32
+		b := ctx.Ones(n * n)
+		return apps.NewGMG(ctx, n, 2, b).Iterate
+	case "cfd":
+		return apps.NewCFD(ctx, 34, 34).Iterate
+	case "swe":
+		return apps.NewSWE(ctx, 34, 34, false).Iterate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

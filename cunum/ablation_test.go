@@ -1,0 +1,76 @@
+package cunum_test
+
+import (
+	"testing"
+
+	"diffuse/cunum"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+// Ablation configurations must never change numerics — they trade
+// performance only.
+func ablCtx(mod func(*core.Config)) *cunum.Context {
+	cfg := core.DefaultConfig(4)
+	cfg.Mode = legion.ModeReal
+	cfg.Machine = machine.DefaultA100(4)
+	mod(&cfg)
+	return cunum.NewContext(core.New(cfg))
+}
+
+func ablProgram(ctx *cunum.Context) []float64 {
+	a := ctx.Random(5, 64).Keep()
+	b := ctx.Random(6, 64).Keep()
+	c := a.Add(b).MulC(0.5).Sub(a.Mul(b)).Keep()
+	s := c.Dot(a).Keep()
+	d := c.Mul(s).AddC(1).Sqrt().Keep()
+	ctx.Flush()
+	return d.ToHost()
+}
+
+func TestAblationsPreserveNumerics(t *testing.T) {
+	want := ablProgram(ablCtx(func(c *core.Config) { c.Enabled = false }))
+	cases := map[string]func(*core.Config){
+		"fused":      func(c *core.Config) {},
+		"taskonly":   func(c *core.Config) { c.TaskFusionOnly = true },
+		"notemp":     func(c *core.Config) { c.NoTempElim = true },
+		"nomemo":     func(c *core.Config) { c.NoMemo = true },
+		"window1":    func(c *core.Config) { c.InitialWindow = 1; c.MaxWindow = 1 },
+		"window2":    func(c *core.Config) { c.InitialWindow = 2; c.MaxWindow = 2 },
+		"bigwindow":  func(c *core.Config) { c.InitialWindow = 256; c.MaxWindow = 256 },
+		"everything": func(c *core.Config) { c.TaskFusionOnly = true; c.NoTempElim = true; c.NoMemo = true },
+	}
+	for name, mod := range cases {
+		got := ablProgram(ablCtx(mod))
+		almostEq(t, got, want, 1e-14, "ablation "+name)
+	}
+}
+
+func TestTaskFusionOnlyStillFusesTasks(t *testing.T) {
+	ctx := ablCtx(func(c *core.Config) { c.TaskFusionOnly = true })
+	_ = ablProgram(ctx)
+	st := ctx.Runtime().Stats()
+	if st.FusedTasks == 0 {
+		t.Fatalf("task-only mode must still fuse tasks: %+v", st)
+	}
+}
+
+func TestNoMemoRecompiles(t *testing.T) {
+	run := func(mod func(*core.Config)) core.Stats {
+		ctx := ablCtx(mod)
+		a := ctx.Random(1, 32).Keep()
+		for i := 0; i < 6; i++ {
+			b := a.MulC(2).AddC(1)
+			b.Free()
+			ctx.Flush()
+		}
+		return ctx.Runtime().Stats()
+	}
+	withMemo := run(func(c *core.Config) {})
+	noMemo := run(func(c *core.Config) { c.NoMemo = true })
+	if noMemo.KernelsCompiled <= withMemo.KernelsCompiled {
+		t.Fatalf("disabling memoization must recompile: %d vs %d kernels",
+			noMemo.KernelsCompiled, withMemo.KernelsCompiled)
+	}
+}

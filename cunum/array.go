@@ -1,0 +1,254 @@
+package cunum
+
+import (
+	"fmt"
+
+	"diffuse/internal/ir"
+)
+
+// Array is a distributed array handle: a view (offset, shape, stride) into
+// a Diffuse store. Slicing returns aliasing views of the same store;
+// operations on views of one store are exactly the aliasing patterns the
+// fusion constraints reason about.
+type Array struct {
+	ctx       *Context
+	store     *ir.Store
+	offset    []int
+	shape     []int
+	stride    []int
+	ephemeral bool
+}
+
+// newArray allocates a fresh store-backed array; the handle holds the
+// store's single application reference.
+func (c *Context) newArray(name string, shape []int, ephemeral bool) *Array {
+	st := c.rt.NewStore(name, shape)
+	return &Array{
+		ctx:       c,
+		store:     st,
+		offset:    make([]int, len(shape)),
+		shape:     append([]int(nil), shape...),
+		stride:    onesOf(len(shape)),
+		ephemeral: ephemeral,
+	}
+}
+
+func onesOf(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// Shape returns the view extents.
+func (a *Array) Shape() []int { return a.shape }
+
+// Rank returns the view dimensionality.
+func (a *Array) Rank() int { return len(a.shape) }
+
+// Size returns the number of view elements.
+func (a *Array) Size() int {
+	n := 1
+	for _, e := range a.shape {
+		n *= e
+	}
+	return n
+}
+
+// Context returns the issuing context.
+func (a *Array) Context() *Context { return a.ctx }
+
+// Store exposes the backing store (tests and library integration).
+func (a *Array) Store() *ir.Store { return a.store }
+
+// Keep pins the array: it is no longer ephemeral and will not be freed by
+// a consuming operation. Returns the array for chaining.
+func (a *Array) Keep() *Array {
+	a.ephemeral = false
+	return a
+}
+
+// Temp marks the handle ephemeral: the next operation that consumes it
+// (including Assign/Fill on it as a destination view) releases it — the
+// analogue of Python dropping an anonymous slice object like
+// grid[1:-1, 1:-1] right after use. Returns the array for chaining.
+func (a *Array) Temp() *Array {
+	a.ephemeral = true
+	return a
+}
+
+// Free drops the handle's application reference. The data disappears once
+// no pending task references it; using the handle afterwards is an error.
+func (a *Array) Free() {
+	if a.store == nil {
+		return
+	}
+	a.ctx.rt.ReleaseStore(a.store)
+	a.store = nil
+}
+
+// consume releases ephemeral operands after their reading task was issued.
+func consume(arrays ...*Array) {
+	for _, a := range arrays {
+		if a != nil && a.ephemeral {
+			a.Free()
+		}
+	}
+}
+
+// Slice returns the aliasing view a[lo[0]:hi[0], lo[1]:hi[1], ...]. The
+// result shares the parent store; it is not ephemeral.
+func (a *Array) Slice(lo, hi []int) *Array {
+	if len(lo) != a.Rank() || len(hi) != a.Rank() {
+		panic("cunum: Slice rank mismatch")
+	}
+	off := make([]int, a.Rank())
+	shp := make([]int, a.Rank())
+	for d := range lo {
+		l, h := lo[d], hi[d]
+		if l < 0 {
+			l += a.shape[d]
+		}
+		if h <= 0 {
+			h += a.shape[d]
+		}
+		if l < 0 || h > a.shape[d] || l > h {
+			panic(fmt.Sprintf("cunum: slice [%d:%d] out of range for dim %d of %v", lo[d], hi[d], d, a.shape))
+		}
+		off[d] = a.offset[d] + l*a.stride[d]
+		shp[d] = h - l
+	}
+	a.store.RetainApp()
+	return &Array{ctx: a.ctx, store: a.store, offset: off, shape: shp, stride: append([]int(nil), a.stride...)}
+}
+
+// Step returns the strided view a[::step[d]] of the current view.
+func (a *Array) Step(step []int) *Array {
+	if len(step) != a.Rank() {
+		panic("cunum: Step rank mismatch")
+	}
+	shp := make([]int, a.Rank())
+	str := make([]int, a.Rank())
+	for d := range step {
+		if step[d] < 1 {
+			panic("cunum: step must be >= 1")
+		}
+		shp[d] = ceilDiv(a.shape[d], step[d])
+		str[d] = a.stride[d] * step[d]
+	}
+	a.store.RetainApp()
+	return &Array{ctx: a.ctx, store: a.store, offset: append([]int(nil), a.offset...), shape: shp, stride: str}
+}
+
+// partition returns the Tiling partition this view is accessed through
+// when launched over the context's processor grid for its rank.
+func (a *Array) partition() ir.Partition {
+	grid := a.ctx.gridFor(a.Rank())
+	colors := a.ctx.launchFor(a.Rank())
+	tile := make([]int, a.Rank())
+	for d := range tile {
+		tile[d] = ceilDiv(a.shape[d], grid[d])
+	}
+	return ir.NewTiling(colors, a.shape, tile, a.offset, a.stride, nil)
+}
+
+// nonePart returns a replicated partition over the given launch domain.
+func (a *Array) nonePart(colors ir.Rect) ir.Partition {
+	return ir.ReplicateOver(colors)
+}
+
+// domSig is the iteration-domain signature of element-wise loops over this
+// view: loops with equal signatures have identical per-point extents and
+// may be merged by the kernel optimizer.
+func (a *Array) domSig() string {
+	grid := a.ctx.gridFor(a.Rank())
+	tile := make([]int, a.Rank())
+	for d := range tile {
+		tile[d] = ceilDiv(a.shape[d], grid[d])
+	}
+	return fmt.Sprintf("%v|%v", a.shape, tile)
+}
+
+// tileExt is the static per-point extent (tile shape) of this view.
+func (a *Array) tileExt() []int {
+	grid := a.ctx.gridFor(a.Rank())
+	tile := make([]int, a.Rank())
+	for d := range tile {
+		tile[d] = ceilDiv(a.shape[d], grid[d])
+	}
+	return tile
+}
+
+// IsScalar reports whether the array is a shape-[1] scalar.
+func (a *Array) IsScalar() bool { return a.Rank() == 1 && a.shape[0] == 1 }
+
+// sameShape panics unless b matches a's view shape.
+func (a *Array) sameShape(b *Array) {
+	if len(a.shape) != len(b.shape) {
+		panic(fmt.Sprintf("cunum: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for d := range a.shape {
+		if a.shape[d] != b.shape[d] {
+			panic(fmt.Sprintf("cunum: shape mismatch %v vs %v", a.shape, b.shape))
+		}
+	}
+}
+
+// ToHost flushes pending work and copies the view out row-major.
+// ModeReal only.
+func (a *Array) ToHost() []float64 {
+	a.ctx.Flush()
+	raw := a.ctx.rt.Legion().ReadAll(a.store)
+	out := make([]float64, a.Size())
+	strides := a.store.Strides()
+	idx := make([]int, a.Rank())
+	for i := 0; i < len(out); i++ {
+		off := 0
+		for d := range idx {
+			off += (a.offset[d] + idx[d]*a.stride[d]) * strides[d]
+		}
+		out[i] = raw[off]
+		for d := a.Rank() - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < a.shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// FromHost flushes pending work and overwrites the full backing store
+// (the view must be the whole store). ModeReal only; intended for test
+// and example setup.
+func (a *Array) FromHost(data []float64) {
+	if a.Size() != a.store.Size() {
+		panic("cunum: FromHost requires a whole-store view")
+	}
+	a.ctx.Flush()
+	a.ctx.rt.Legion().WriteAll(a.store, data)
+}
+
+// Get reads one element (flushes). ModeReal only.
+func (a *Array) Get(idx ...int) float64 {
+	if len(idx) != a.Rank() {
+		panic("cunum: Get rank mismatch")
+	}
+	a.ctx.Flush()
+	raw := a.ctx.rt.Legion().ReadAll(a.store)
+	strides := a.store.Strides()
+	off := 0
+	for d := range idx {
+		off += (a.offset[d] + idx[d]*a.stride[d]) * strides[d]
+	}
+	return raw[off]
+}
+
+// Scalar reads a shape-[1] array's value (flushes). ModeReal returns the
+// value; ModeSim returns 0.
+func (a *Array) Scalar() float64 {
+	a.ctx.Flush()
+	return a.ctx.rt.Legion().ReadScalar(a.store)
+}

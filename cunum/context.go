@@ -1,0 +1,92 @@
+// Package cunum is a NumPy-flavoured distributed array library in the
+// mould of cuPyNumeric (Bauer & Garland 2019): arrays map onto Diffuse
+// stores, operations map onto index tasks launched over partitioned data,
+// and slices are aliasing views of the parent array expressed as
+// differently-offset Tiling partitions of the same store — exactly the
+// architecture the paper's Fig. 1 example relies on. Every operation
+// registers a kernel-IR generator so Diffuse's JIT can fuse kernels across
+// operation (and library) boundaries.
+//
+// Reference-count convention (the stand-in for Python's refcounting, which
+// Diffuse's temporary-store elimination consumes as Definition 4's "no
+// live application references"): every operation returns an ephemeral
+// array; an operation that consumes an ephemeral input releases it after
+// issuing its task. Call Keep on any intermediate you intend to reuse, and
+// Free on arrays you are done with.
+package cunum
+
+import (
+	"fmt"
+
+	"diffuse/internal/core"
+	"diffuse/internal/ir"
+)
+
+// Context issues cunum operations into one Diffuse runtime.
+type Context struct {
+	rt    *core.Runtime
+	procs int
+	grid2 [2]int // processor grid used for 2-D arrays
+}
+
+// NewContext wraps a Diffuse runtime.
+func NewContext(rt *core.Runtime) *Context {
+	p := rt.Procs()
+	pr, pc := factor2(p)
+	return &Context{rt: rt, procs: p, grid2: [2]int{pr, pc}}
+}
+
+// Runtime returns the underlying Diffuse runtime.
+func (c *Context) Runtime() *core.Runtime { return c.rt }
+
+// Procs returns the processor count operations are decomposed over.
+func (c *Context) Procs() int { return c.procs }
+
+// Flush drains Diffuse's task window (the flush_window of the paper's
+// Fig. 6); any API that reads data back calls it implicitly.
+func (c *Context) Flush() { c.rt.Flush() }
+
+// factor2 returns the most balanced pr*pc == p factorization.
+func factor2(p int) (int, int) {
+	best := 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			best = f
+		}
+	}
+	return best, p / best
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// launchFor returns the launch domain used for arrays of the given rank.
+func (c *Context) launchFor(rank int) ir.Rect {
+	switch rank {
+	case 1:
+		return ir.MakeRect(ir.Point{0}, ir.Point{c.procs})
+	case 2:
+		return ir.MakeRect(ir.Point{0, 0}, ir.Point{c.grid2[0], c.grid2[1]})
+	default:
+		panic(fmt.Sprintf("cunum: rank %d arrays not supported", rank))
+	}
+}
+
+// scalarLaunch is the single-point launch domain of scalar (shape-[1])
+// operations; the launch-domain-equivalence constraint correctly prevents
+// fusing them with vector operations.
+func (c *Context) scalarLaunch() ir.Rect {
+	return ir.MakeRect(ir.Point{0}, ir.Point{1})
+}
+
+// gridFor returns the per-dimension processor grid for a view of the given
+// rank.
+func (c *Context) gridFor(rank int) []int {
+	switch rank {
+	case 1:
+		return []int{c.procs}
+	case 2:
+		return []int{c.grid2[0], c.grid2[1]}
+	default:
+		panic(fmt.Sprintf("cunum: rank %d arrays not supported", rank))
+	}
+}

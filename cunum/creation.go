@@ -1,0 +1,70 @@
+package cunum
+
+import (
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// Zeros returns a new array of the given shape filled with zeros.
+func (c *Context) Zeros(shape ...int) *Array {
+	a := c.newArray("zeros", shape, false)
+	a.Fill(0)
+	return a
+}
+
+// Ones returns a new array filled with ones.
+func (c *Context) Ones(shape ...int) *Array {
+	a := c.newArray("ones", shape, false)
+	a.Fill(1)
+	return a
+}
+
+// Full returns a new array filled with v.
+func (c *Context) Full(v float64, shape ...int) *Array {
+	a := c.newArray("full", shape, false)
+	a.Fill(v)
+	return a
+}
+
+// Empty returns an uninitialized array (a target for Assign).
+func (c *Context) Empty(shape ...int) *Array {
+	return c.newArray("empty", shape, false)
+}
+
+// Scalar returns a shape-[1] array holding v.
+func (c *Context) Scalar(v float64) *Array {
+	a := c.newArray("scalar", []int{1}, false)
+	a.Fill(v)
+	return a
+}
+
+// Random returns a new array of deterministic pseudo-random values in
+// [0, 1). The values depend only on the seed and element coordinates, not
+// on the processor decomposition.
+func (c *Context) Random(seed uint64, shape ...int) *Array {
+	a := c.newArray("random", shape, false)
+	launch := c.launchFor(a.Rank())
+	k := kir.NewKernel("random", 1)
+	k.AddLoop(&kir.Loop{
+		Kind:   kir.LoopRandom,
+		Dom:    a.domSig(),
+		Ext:    a.tileExt(),
+		ExtRef: 0,
+		Seed:   seed,
+	})
+	c.rt.Submit(&ir.Task{
+		Name:   "random",
+		Launch: launch,
+		Args:   []ir.Arg{{Store: a.store, Part: a.partition(), Priv: ir.Write}},
+		Kernel: k,
+	})
+	return a
+}
+
+// FromSlice builds an array from host data (row-major). ModeReal only;
+// intended for tests and examples.
+func (c *Context) FromSlice(data []float64, shape ...int) *Array {
+	a := c.Empty(shape...)
+	a.FromHost(data)
+	return a
+}

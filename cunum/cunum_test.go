@@ -1,0 +1,242 @@
+package cunum_test
+
+import (
+	"math"
+	"testing"
+
+	"diffuse/cunum"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+func ctxWith(enabled bool, procs int) *cunum.Context {
+	cfg := core.DefaultConfig(procs)
+	cfg.Enabled = enabled
+	cfg.Mode = legion.ModeReal
+	cfg.Machine = machine.DefaultA100(procs)
+	return cunum.NewContext(core.New(cfg))
+}
+
+func almostEq(t *testing.T, got, want []float64, tol float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: elem %d: got %g want %g", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestElementwiseChainFusedVsUnfused(t *testing.T) {
+	// c = a + b; e = c + d — the running example of Fig. 8.
+	run := func(enabled bool) []float64 {
+		ctx := ctxWith(enabled, 4)
+		a := ctx.Random(1, 64)
+		b := ctx.Random(2, 64)
+		d := ctx.Random(3, 64)
+		c := a.Add(b)
+		e := c.Add(d).Keep()
+		return e.ToHost()
+	}
+	almostEq(t, run(true), run(false), 1e-14, "fused vs unfused")
+}
+
+func TestFusionEliminatesTemporary(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Random(1, 128)
+	b := ctx.Random(2, 128)
+	d := ctx.Random(3, 128)
+	// a+b is ephemeral and consumed: it must be eliminated as a temporary.
+	e := a.Add(b).Add(d).Keep()
+	_ = e.ToHost()
+	st := ctx.Runtime().Stats()
+	if st.TempsEliminated == 0 {
+		t.Fatalf("expected eliminated temporaries, stats = %+v", st)
+	}
+	if st.FusedTasks == 0 {
+		t.Fatalf("expected fused tasks, stats = %+v", st)
+	}
+}
+
+func TestKeepPreventsElimination(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Random(1, 128)
+	b := ctx.Random(2, 128)
+	d := ctx.Random(3, 128)
+	c := a.Add(b).Keep() // application holds a reference
+	e := c.Add(d).Keep()
+	ctx.Flush()
+	// c must still be readable and correct.
+	ah, bh := a.ToHost(), b.ToHost()
+	ch := c.ToHost()
+	for i := range ch {
+		if math.Abs(ch[i]-(ah[i]+bh[i])) > 1e-15 {
+			t.Fatalf("kept intermediate wrong at %d", i)
+		}
+	}
+	_ = e
+}
+
+func TestStencilFig1(t *testing.T) {
+	// The 5-point stencil of Fig. 1: the adds and the scale fuse; the
+	// write-back copy to the aliasing center view must not fuse into them.
+	const n = 16
+	run := func(enabled bool, iters int) ([]float64, core.Stats) {
+		ctx := ctxWith(enabled, 4)
+		grid := ctx.Random(7, n+2, n+2)
+		center := grid.Slice([]int{1, 1}, []int{-1, -1})
+		north := grid.Slice([]int{0, 1}, []int{n, -1})
+		east := grid.Slice([]int{1, 2}, []int{n + 1, n + 2})
+		west := grid.Slice([]int{1, 0}, []int{n + 1, n})
+		south := grid.Slice([]int{2, 1}, []int{n + 2, n + 1})
+		for i := 0; i < iters; i++ {
+			avg := center.Add(north).Add(east).Add(west).Add(south)
+			work := avg.MulC(0.2)
+			center.Assign(work)
+		}
+		ctx.Flush()
+		return grid.ToHost(), ctx.Runtime().Stats()
+	}
+	fused, fstats := run(true, 3)
+	unfused, _ := run(false, 3)
+	almostEq(t, fused, unfused, 1e-13, "stencil fused vs unfused")
+	if fstats.FusedTasks == 0 {
+		t.Fatal("stencil adds should fuse")
+	}
+	// The copy back into the aliasing view cannot fuse with the adds:
+	// every iteration must emit at least 2 tasks (fused compute + copy).
+	if fstats.Emitted < 2*3 {
+		t.Fatalf("aliasing copy should stay unfused; emitted=%d", fstats.Emitted)
+	}
+}
+
+func TestReductionsAndScalars(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	n := 100
+	data := make([]float64, n)
+	want := 0.0
+	for i := range data {
+		data[i] = float64(i%7) - 3
+		want += data[i] * data[i]
+	}
+	a := ctx.FromSlice(data, n)
+	nrm := a.Norm().Keep()
+	got := nrm.Scalar()
+	if math.Abs(got-math.Sqrt(want)) > 1e-12 {
+		t.Fatalf("norm = %g, want %g", got, math.Sqrt(want))
+	}
+	dot := a.Dot(a).Keep()
+	if math.Abs(dot.Scalar()-want) > 1e-12 {
+		t.Fatalf("dot = %g, want %g", dot.Scalar(), want)
+	}
+	mx := a.MaxAbs().Keep()
+	if mx.Scalar() != 3 {
+		t.Fatalf("maxabs = %g", mx.Scalar())
+	}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	x := ctx.Scalar(12)
+	y := ctx.Scalar(4)
+	r := x.Div(y).Keep()
+	if got := r.Scalar(); got != 3 {
+		t.Fatalf("scalar div = %g", got)
+	}
+}
+
+func TestScalarBroadcast(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Ones(32)
+	s := ctx.Scalar(2.5)
+	b := a.Mul(s).Keep()
+	h := b.ToHost()
+	for i, v := range h {
+		if v != 2.5 {
+			t.Fatalf("broadcast wrong at %d: %g", i, v)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	m, n := 8, 6
+	A := make([]float64, m*n)
+	x := make([]float64, n)
+	for i := range A {
+		A[i] = float64(i % 5)
+	}
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	want := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += A[i*n+j] * x[j]
+		}
+	}
+	Ad := ctx.FromSlice(A, m, n)
+	xd := ctx.FromSlice(x, n)
+	y := cunum.MatVec(Ad, xd).Keep()
+	almostEq(t, y.ToHost(), want, 1e-13, "matvec")
+}
+
+func TestStridedViews(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	n := 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	a := ctx.FromSlice(data, n)
+	even := a.Step([]int{2})
+	coarse := ctx.Empty(n / 2)
+	coarse.Assign(even)
+	h := coarse.ToHost()
+	for i, v := range h {
+		if v != float64(2*i) {
+			t.Fatalf("strided copy wrong at %d: %g", i, v)
+		}
+	}
+}
+
+func Test2DViews(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	n := 8
+	grid := ctx.Zeros(n, n)
+	inner := grid.Slice([]int{1, 1}, []int{-1, -1})
+	inner.Fill(5)
+	h := grid.ToHost()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i > 0 && i < n-1 && j > 0 && j < n-1 {
+				want = 5
+			}
+			if h[i*n+j] != want {
+				t.Fatalf("2d view fill wrong at (%d,%d): %g", i, j, h[i*n+j])
+			}
+		}
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Random(1, 64).Keep()
+	b := ctx.Random(2, 64).Keep()
+	for i := 0; i < 20; i++ {
+		c := a.Add(b).MulC(0.5).Add(a)
+		c.Free()
+		ctx.Flush()
+	}
+	st := ctx.Runtime().Stats()
+	if st.MemoHits == 0 {
+		t.Fatalf("repeated loop should hit the memo table: %+v", st)
+	}
+	if st.MemoMisses > st.MemoHits {
+		t.Fatalf("memoization ineffective: %+v", st)
+	}
+}

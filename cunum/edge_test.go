@@ -1,0 +1,133 @@
+package cunum_test
+
+import (
+	"testing"
+
+	"diffuse/cunum"
+)
+
+// Edge-case coverage for the array API: panics on misuse, clipping
+// behaviour of uneven decompositions, slicing conventions.
+
+func wantPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s should panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Zeros(8)
+	b := ctx.Zeros(9)
+	wantPanic(t, "shape mismatch add", func() { a.Add(b) })
+}
+
+func TestSliceBoundsPanics(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Zeros(8, 8)
+	wantPanic(t, "rank mismatch", func() { a.Slice([]int{1}, []int{2}) })
+	wantPanic(t, "out of range", func() { a.Slice([]int{0, 0}, []int{9, 8}) })
+	wantPanic(t, "inverted", func() { a.Slice([]int{5, 0}, []int{2, 8}) })
+}
+
+func TestStepValidation(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Zeros(8)
+	wantPanic(t, "zero step", func() { a.Step([]int{0}) })
+	wantPanic(t, "step rank", func() { a.Step([]int{1, 1}) })
+}
+
+func TestRank3Unsupported(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	wantPanic(t, "rank-3 array", func() { ctx.Zeros(2, 2, 2) })
+}
+
+func TestUnevenDecomposition(t *testing.T) {
+	// Sizes that do not divide the processor count: clipped tiles,
+	// including empty ones on over-provisioned colors.
+	for _, n := range []int{1, 2, 3, 5, 7, 9, 13} {
+		ctx := ctxWith(true, 4)
+		a := ctx.Arange(n)
+		b := a.MulC(3).Keep()
+		h := b.ToHost()
+		for i, v := range h {
+			if v != float64(3*i) {
+				t.Fatalf("n=%d: b[%d] = %g", n, i, v)
+			}
+		}
+	}
+}
+
+func TestNestedSlices(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	n := 12
+	a := ctx.Arange(n * n)
+	g := ctx.Empty(n, n)
+	// Reshape by copy: fill g row-major from a (host roundtrip).
+	g.FromHost(a.ToHost())
+	inner := g.Slice([]int{2, 2}, []int{-2, -2})
+	sub := inner.Slice([]int{1, 1}, []int{3, 3}) // relative to the view
+	h := sub.ToHost()
+	// sub[0,0] = g[3,3] = 3*12+3.
+	if h[0] != float64(3*n+3) {
+		t.Fatalf("nested slice origin = %g, want %g", h[0], float64(3*n+3))
+	}
+	if len(h) != 4 {
+		t.Fatalf("nested slice size = %d", len(h))
+	}
+}
+
+func TestNegativeSliceIndices(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(10)
+	v := a.Slice([]int{-3}, []int{-1}) // a[7:9]
+	h := v.ToHost()
+	if len(h) != 2 || h[0] != 7 || h[1] != 8 {
+		t.Fatalf("negative slice = %v", h)
+	}
+}
+
+func TestStridedStrideComposition(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(32)
+	even := a.Step([]int{2})                // 0,2,4,...
+	every4 := even.Step([]int{2})           // 0,4,8,...
+	sub := every4.Slice([]int{1}, []int{4}) // 4,8,12
+	h := sub.ToHost()
+	want := []float64{4, 8, 12}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("composed strides = %v", h)
+		}
+	}
+}
+
+func TestFreeIsIdempotent(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Zeros(8)
+	a.Free()
+	a.Free() // second Free is a no-op
+}
+
+func TestComputeValidation(t *testing.T) {
+	wantPanic(t, "empty Compute", func() {
+		cunum.Compute("x", nil, nil)
+	})
+}
+
+func TestContextBasics(t *testing.T) {
+	ctx := ctxWith(true, 6)
+	if ctx.Procs() != 6 {
+		t.Fatalf("procs = %d", ctx.Procs())
+	}
+	if got := ctx.LaunchFor(1).Size(); got != 6 {
+		t.Fatalf("1-D launch size = %d", got)
+	}
+	if got := ctx.LaunchFor(2).Size(); got != 6 {
+		t.Fatalf("2-D launch size = %d", got)
+	}
+}

@@ -1,0 +1,56 @@
+package cunum
+
+import (
+	"fmt"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// rows2dProj maps a 1-D launch color p to the 2-D tile coordinate (p, 0):
+// dense matrices in matrix-vector products are partitioned by blocks of
+// rows across a 1-D launch domain (a projection functor in the paper's
+// sense, Fig. 3d).
+var rows2dProj = ir.NewProjection("rows2d", func(p ir.Point) ir.Point {
+	return ir.Point{p[0], 0}
+})
+
+// MatVec returns y = A @ x for a 2-D matrix A of shape (m, n) and a vector
+// x of shape (n). A is read through a row-block partition; x is read
+// replicated (None partition) — which is what makes a preceding
+// distributed write of x a fusion barrier, as communication (an allgather)
+// is required, mirroring the Jacobi discussion in §7.1.
+func MatVec(A, x *Array) *Array {
+	c := A.ctx
+	if A.Rank() != 2 || x.Rank() != 1 {
+		panic("cunum: MatVec requires a 2-D matrix and 1-D vector")
+	}
+	m, n := A.shape[0], A.shape[1]
+	if x.shape[0] != n {
+		panic(fmt.Sprintf("cunum: MatVec dimension mismatch (%d,%d) x %d", m, n, x.shape[0]))
+	}
+	launch := c.launchFor(1)
+	y := c.newArray("matvec", []int{m}, true)
+
+	rowTile := ceilDiv(m, c.procs)
+	apart := ir.NewTiling(launch, A.shape, []int{rowTile, n}, A.offset, A.stride, rows2dProj)
+
+	args := []ir.Arg{
+		{Store: A.store, Part: apart, Priv: ir.Read},
+		{Store: x.store, Part: ir.ReplicateOver(launch), Priv: ir.Read},
+		{Store: y.store, Part: y.partition(), Priv: ir.Write},
+	}
+	k := kir.NewKernel("gemv", 3)
+	k.AddLoop(&kir.Loop{
+		Kind:   kir.LoopGEMV,
+		Dom:    fmt.Sprintf("gemv%v", A.shape),
+		Ext:    []int{rowTile, n},
+		ExtRef: 0,
+		MatA:   0,
+		X:      1,
+		Y:      2,
+	})
+	c.rt.Submit(&ir.Task{Name: "gemv", Launch: launch, Args: args, Kernel: k})
+	consume(dedup(A, x)...)
+	return y
+}

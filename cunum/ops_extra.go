@@ -1,0 +1,135 @@
+package cunum
+
+import (
+	"fmt"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// Arange returns a fresh 1-D array holding 0, 1, ..., n-1.
+func (c *Context) Arange(n int) *Array {
+	a := c.newArray("arange", []int{n}, false)
+	launch := c.launchFor(1)
+	k := kir.NewKernel("arange", 1)
+	k.AddLoop(&kir.Loop{
+		Kind:   kir.LoopIota,
+		Dom:    a.domSig(),
+		Ext:    a.tileExt(),
+		ExtRef: 0,
+	})
+	c.rt.Submit(&ir.Task{
+		Name:   "arange",
+		Launch: launch,
+		Args:   []ir.Arg{{Store: a.store, Part: a.partition(), Priv: ir.Write}},
+		Kernel: k,
+	})
+	return a
+}
+
+// Linspace returns n evenly spaced samples over [lo, hi], computed the
+// NumPy way (an index fill followed by element-wise scaling — all of
+// which Diffuse fuses).
+func (c *Context) Linspace(lo, hi float64, n int) *Array {
+	if n < 2 {
+		panic("cunum: Linspace needs n >= 2")
+	}
+	return c.Arange(n).Temp().MulC((hi - lo) / float64(n-1)).AddC(lo).Keep()
+}
+
+// Ge returns 1 where a >= b, else 0 (element-wise; scalars broadcast).
+func (a *Array) Ge(b *Array) *Array { return a.binary("ge", kir.OpGE, b) }
+
+// Le returns 1 where a <= b, else 0.
+func (a *Array) Le(b *Array) *Array { return a.binary("le", kir.OpLE, b) }
+
+// GeC returns 1 where a >= c, else 0.
+func (a *Array) GeC(c float64) *Array { return a.binaryC("gec", kir.OpGE, c, false) }
+
+// LeC returns 1 where a <= c, else 0.
+func (a *Array) LeC(c float64) *Array { return a.binaryC("lec", kir.OpLE, c, false) }
+
+// Where returns an array holding x where cond != 0 and y elsewhere
+// (numpy.where). Scalars broadcast.
+func Where(cond, x, y *Array) *Array {
+	ctx := cond.ctx
+	base := cond
+	for _, in := range []*Array{cond, x, y} {
+		if !in.IsScalar() {
+			base = in
+			break
+		}
+	}
+	out := ctx.newArray("where", base.shape, true)
+	ctx.emitMap("where", out, []*Array{cond, x, y}, func(l []*kir.Expr) *kir.Expr {
+		return kir.Select(l[0], l[1], l[2])
+	})
+	consume(dedup(cond, x, y)...)
+	return out
+}
+
+// Clip returns a clamped into [lo, hi] (numpy.clip).
+func (a *Array) Clip(lo, hi float64) *Array {
+	out := a.ctx.newArray("clip", a.shape, true)
+	a.ctx.emitMap("clip", out, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
+		return kir.Binary(kir.OpMin, kir.Binary(kir.OpMax, l[0], kir.Const(lo)), kir.Const(hi))
+	})
+	consume(a)
+	return out
+}
+
+// axisReduce folds the last axis of a 2-D array into a 1-D result using
+// the given combiner. The matrix is read through a row-block partition
+// (like MatVec); the fold itself is a dedicated loop kind that stays a
+// kernel-fusion barrier while remaining task-fusible with surrounding
+// element-wise work.
+func (a *Array) axisReduce(name string, red kir.RedOp) *Array {
+	c := a.ctx
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("cunum: %s requires a 2-D array", name))
+	}
+	m, n := a.shape[0], a.shape[1]
+	launch := c.launchFor(1)
+	y := c.newArray(name, []int{m}, true)
+	rowTile := ceilDiv(m, c.procs)
+	apart := ir.NewTiling(launch, a.shape, []int{rowTile, n}, a.offset, a.stride, rows2dProj)
+	args := []ir.Arg{
+		{Store: a.store, Part: apart, Priv: ir.Read},
+		{Store: y.store, Part: y.partition(), Priv: ir.Write},
+	}
+	k := kir.NewKernel(name, 2)
+	k.AddLoop(&kir.Loop{
+		Kind:   kir.LoopAxisReduce,
+		Dom:    fmt.Sprintf("%s%v", name, a.shape),
+		Ext:    []int{rowTile, n},
+		ExtRef: 0,
+		X:      0,
+		Y:      1,
+		Red:    red,
+	})
+	c.rt.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
+	consume(a)
+	return y
+}
+
+// SumAxis1 returns the row sums of a 2-D array (numpy.sum(axis=1)).
+func (a *Array) SumAxis1() *Array { return a.axisReduce("sumaxis", kir.RedSum) }
+
+// MaxAxis1 returns the row maxima of a 2-D array (numpy.max(axis=1)).
+func (a *Array) MaxAxis1() *Array { return a.axisReduce("maxaxis", kir.RedMax) }
+
+// MinAxis1 returns the row minima of a 2-D array (numpy.min(axis=1)).
+func (a *Array) MinAxis1() *Array { return a.axisReduce("minaxis", kir.RedMin) }
+
+// MeanAxis1 returns the row means of a 2-D array.
+func (a *Array) MeanAxis1() *Array {
+	n := a.shape[1]
+	return a.SumAxis1().DivC(float64(n))
+}
+
+// Min returns the scalar minimum of a.
+func (a *Array) Min() *Array {
+	return a.ctx.emitReduce("min", ir.RedMin, kir.RedMin, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
+		return l[0]
+	})
+}

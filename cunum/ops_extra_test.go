@@ -1,0 +1,135 @@
+package cunum_test
+
+import (
+	"math"
+	"testing"
+
+	"diffuse/cunum"
+)
+
+func TestArangeLinspace(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(10)
+	h := a.ToHost()
+	for i, v := range h {
+		if v != float64(i) {
+			t.Fatalf("arange[%d] = %g", i, v)
+		}
+	}
+	l := ctx.Linspace(-1, 1, 11)
+	lh := l.ToHost()
+	for i, v := range lh {
+		want := -1 + 0.2*float64(i)
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("linspace[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestWhereAndComparisons(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(8).Keep()
+	cond := a.GeC(4).Keep()
+	x := ctx.Full(1, 8)
+	y := ctx.Full(-1, 8)
+	w := cunum.Where(cond, x, y).Keep()
+	h := w.ToHost()
+	for i, v := range h {
+		want := -1.0
+		if i >= 4 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("where[%d] = %g, want %g", i, v, want)
+		}
+	}
+	le := a.LeC(3).Keep()
+	lh := le.ToHost()
+	for i, v := range lh {
+		want := 0.0
+		if i <= 3 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("le[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(10)
+	c := a.Clip(2, 6).Keep()
+	h := c.ToHost()
+	for i, v := range h {
+		want := math.Min(math.Max(float64(i), 2), 6)
+		if v != want {
+			t.Fatalf("clip[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestAxisReductions(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	m, n := 6, 5
+	data := make([]float64, m*n)
+	for i := range data {
+		data[i] = float64((i*7)%11) - 3
+	}
+	a := ctx.FromSlice(data, m, n)
+	a.Keep()
+	sums := a.SumAxis1().Keep()
+	maxs := a.MaxAxis1().Keep()
+	mins := a.MinAxis1().Keep()
+	means := a.MeanAxis1().Keep()
+	sh, xh, nh, eh := sums.ToHost(), maxs.ToHost(), mins.ToHost(), means.ToHost()
+	for i := 0; i < m; i++ {
+		wantS, wantX, wantN := 0.0, math.Inf(-1), math.Inf(1)
+		for j := 0; j < n; j++ {
+			v := data[i*n+j]
+			wantS += v
+			wantX = math.Max(wantX, v)
+			wantN = math.Min(wantN, v)
+		}
+		if math.Abs(sh[i]-wantS) > 1e-12 || xh[i] != wantX || nh[i] != wantN {
+			t.Fatalf("row %d: sum %g/%g max %g/%g min %g/%g", i, sh[i], wantS, xh[i], wantX, nh[i], wantN)
+		}
+		if math.Abs(eh[i]-wantS/float64(n)) > 1e-12 {
+			t.Fatalf("row %d mean %g", i, eh[i])
+		}
+	}
+}
+
+func TestAxisReduceOnView(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	n := 8
+	grid := ctx.Zeros(n, n)
+	grid.Slice([]int{1, 1}, []int{-1, -1}).Temp().Fill(2)
+	inner := grid.Slice([]int{1, 1}, []int{-1, -1})
+	sums := inner.SumAxis1().Keep()
+	h := sums.ToHost()
+	for i, v := range h {
+		if v != float64(2*(n-2)) {
+			t.Fatalf("view row sum[%d] = %g, want %g", i, v, float64(2*(n-2)))
+		}
+	}
+}
+
+func TestScalarMin(t *testing.T) {
+	ctx := ctxWith(true, 4)
+	a := ctx.Arange(16).AddC(3).Keep()
+	mn := a.Min().Keep()
+	if got := mn.Scalar(); got != 3 {
+		t.Fatalf("min = %g", got)
+	}
+}
+
+func TestFusedVsUnfusedExtras(t *testing.T) {
+	run := func(enabled bool) []float64 {
+		ctx := ctxWith(enabled, 4)
+		a := ctx.Arange(64).Keep()
+		b := cunum.Where(a.GeC(32), a.MulC(2), a.Neg()).Clip(-10, 90).Keep()
+		return b.ToHost()
+	}
+	almostEq(t, run(true), run(false), 1e-14, "extras fused vs unfused")
+}

@@ -1,0 +1,74 @@
+package cunum
+
+import (
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// emitReduce issues a reduction task folding build(loads...) over the
+// elements of the inputs into a fresh scalar store with the Reduce
+// privilege and a replicated partition — the runtime combines the per-point
+// partials, and the reduction fusion constraint keeps readers of the
+// result out of the same fused task (a global combine is required), per
+// §4.2.1.
+func (c *Context) emitReduce(name string, red ir.ReduceOp, kred kir.RedOp, ins []*Array, build func(loads []*kir.Expr) *kir.Expr) *Array {
+	base := ins[0]
+	launch := c.launchFor(base.Rank())
+	out := c.newArray(name, []int{1}, true)
+
+	args := make([]ir.Arg, 0, len(ins)+1)
+	loads := make([]*kir.Expr, len(ins))
+	for i, in := range ins {
+		base.sameShape(in)
+		args = append(args, ir.Arg{Store: in.store, Part: in.partition(), Priv: ir.Read})
+		loads[i] = kir.Load(i)
+	}
+	outIdx := len(ins)
+	args = append(args, ir.Arg{Store: out.store, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: red})
+
+	k := kir.NewKernel(name, len(args))
+	k.AddLoop(&kir.Loop{
+		Kind:   kir.LoopElem,
+		Dom:    base.domSig(),
+		Ext:    base.tileExt(),
+		ExtRef: 0,
+		Stmts:  []kir.Stmt{{Kind: kir.KReduce, Param: outIdx, E: build(loads), Red: kred}},
+	})
+	c.rt.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
+	consume(dedup(ins...)...)
+	return out
+}
+
+// Sum returns the scalar sum of all elements.
+func (a *Array) Sum() *Array {
+	return a.ctx.emitReduce("sum", ir.RedSum, kir.RedSum, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
+		return l[0]
+	})
+}
+
+// Dot returns the scalar inner product <a, b>.
+func (a *Array) Dot(b *Array) *Array {
+	return a.ctx.emitReduce("dot", ir.RedSum, kir.RedSum, []*Array{a, b}, func(l []*kir.Expr) *kir.Expr {
+		return kir.Binary(kir.OpMul, l[0], l[1])
+	})
+}
+
+// Norm returns the scalar 2-norm of a (sqrt of the self inner product;
+// the sqrt runs as a single-point scalar task).
+func (a *Array) Norm() *Array {
+	return a.Dot(a).Sqrt()
+}
+
+// MaxAbs returns the scalar max |a_i|.
+func (a *Array) MaxAbs() *Array {
+	return a.ctx.emitReduce("maxabs", ir.RedMax, kir.RedMax, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
+		return kir.Unary(kir.OpAbs, l[0])
+	})
+}
+
+// Max returns the scalar max of a.
+func (a *Array) Max() *Array {
+	return a.ctx.emitReduce("max", ir.RedMax, kir.RedMax, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
+		return l[0]
+	})
+}

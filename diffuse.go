@@ -1,0 +1,69 @@
+// Package diffuse is a Go implementation of Diffuse — the dynamic task-
+// and kernel-fusion layer for distributed task-based runtime systems from
+// "Composing Distributed Computations Through Task and Kernel Fusion"
+// (Yadav et al., ASPLOS 2025) — together with every substrate it needs:
+// a Legion-like task runtime, a calibrated cluster cost model, a kernel IR
+// with a JIT-style compiler, and NumPy/SciPy-flavoured distributed array
+// libraries (packages cunum and sparse) that issue tasks into it.
+//
+// Quick start:
+//
+//	rt := diffuse.New(diffuse.DefaultConfig(8))
+//	ctx := cunum.NewContext(rt)
+//	x := ctx.Random(1, 1<<20)
+//	y := x.MulC(2).AddC(1).Sqrt().Keep()   // one fused kernel, one pass
+//	ctx.Flush()
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package diffuse
+
+import (
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+// Runtime is a Diffuse instance: it buffers index tasks into a window,
+// fuses the fusible prefixes, eliminates distributed temporaries, memoizes
+// its analysis over isomorphic task streams, and forwards optimized tasks
+// to the underlying runtime.
+type Runtime = core.Runtime
+
+// Config controls fusion behaviour, execution mode, and the simulated
+// machine.
+type Config = core.Config
+
+// Stats exposes the runtime's accounting counters.
+type Stats = core.Stats
+
+// MachineConfig holds the simulated-cluster constants.
+type MachineConfig = machine.Config
+
+// Execution modes.
+const (
+	// ModeReal executes point tasks in parallel over real buffers.
+	ModeReal = legion.ModeReal
+	// ModeSim drives the cluster cost model without allocating data
+	// (weak-scaling studies).
+	ModeSim = legion.ModeSim
+)
+
+// New creates a Diffuse runtime.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// DefaultConfig returns a fused, real-execution configuration decomposing
+// work across procs processors.
+func DefaultConfig(procs int) Config { return core.DefaultConfig(procs) }
+
+// SimConfig returns a simulated-execution configuration on a modeled
+// A100 cluster with the given number of GPUs.
+func SimConfig(gpus int) Config {
+	cfg := core.DefaultConfig(gpus)
+	cfg.Mode = legion.ModeSim
+	return cfg
+}
+
+// A100Machine returns the calibrated machine constants used by the
+// paper-reproduction experiments.
+func A100Machine(gpus int) MachineConfig { return machine.DefaultA100(gpus) }

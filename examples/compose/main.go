@@ -1,0 +1,73 @@
+// Compose demonstrates the paper's headline composition property: two
+// independently written libraries — cunum (dense arrays) and sparse (CSR
+// matrices) — issue tasks into one Diffuse window, and Diffuse fuses
+// across the library boundary without either library knowing about the
+// other. The program computes a few steps of a power-iteration-style
+// smoother mixing SpMV (sparse) with element-wise normalization (cunum),
+// and prints the emitted task stream.
+package main
+
+import (
+	"fmt"
+
+	"diffuse/cunum"
+	"diffuse/internal/core"
+	"diffuse/internal/ir"
+	"diffuse/sparse"
+)
+
+func main() {
+	rt := core.New(core.DefaultConfig(4))
+	ctx := cunum.NewContext(rt)
+
+	// A small 1-D Laplacian chain graph in the sparse library.
+	n := 1 << 12
+	rowptr := make([]int64, n+1)
+	var col []int32
+	var val []float64
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			col = append(col, int32(i-1))
+			val = append(val, 0.5)
+		}
+		col = append(col, int32(i))
+		val = append(val, 0.5)
+		rowptr[i+1] = int64(len(col))
+	}
+	A := sparse.New(ctx, "chain", n, n, rowptr, col, val)
+
+	x := ctx.Random(9, n).Keep()
+	step := func() {
+		// sparse library op...
+		y := A.SpMV(x).Keep()
+		// ...cunum ops, all in the same window: normalize and re-center.
+		m := y.Sum().Keep()
+		xn := y.Mul(m.RDivC(float64(n))).MaximumC(1e-9).Keep()
+		x.Free()
+		y.Free()
+		m.Free()
+		x = xn
+		ctx.Flush()
+	}
+	for i := 0; i < 3; i++ { // warmup
+		step()
+	}
+
+	fmt.Println("cross-library task stream for one step:")
+	rt.Legion().Trace = func(t *ir.Task) {
+		fmt.Printf("  %-10s args=%d fusedFrom=%d\n", t.Name, len(t.Args), t.FusedFrom)
+	}
+	step()
+	rt.Legion().Trace = nil
+
+	st := rt.Stats()
+	fmt.Printf("\nsum(x) = %.6f after 4 steps\n", sum(x))
+	fmt.Printf("Diffuse fused %d of %d tasks across the cunum/sparse boundary\n",
+		st.FusedOriginals, st.Submitted)
+}
+
+func sum(a *cunum.Array) float64 {
+	s := a.Sum().Keep()
+	defer s.Free()
+	return s.Scalar()
+}

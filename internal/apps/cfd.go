@@ -1,0 +1,157 @@
+package apps
+
+import "diffuse/cunum"
+
+// CFD is the Navier-Stokes solver of §7.1 (Fig. 12b), ported from the
+// "CFD Python" twelve-steps course [Barba & Forsyth 2019] like the paper's
+// cuPyNumeric application: element-wise stencil operations over aliasing
+// slices of the distributed velocity/pressure grids, with a Jacobi-style
+// pressure-Poisson inner loop. The aliasing views expose fusion
+// opportunities within each expression, while the write-backs into views
+// of long-lived grids bound the fusible windows — higher single-GPU than
+// multi-GPU fusion, as the paper observes.
+type CFD struct {
+	ctx        *cunum.Context
+	ny, nx     int
+	U, V, Pr   *cunum.Array
+	dx, dy, dt float64
+	rho, nu    float64
+	nit        int // pressure-Poisson inner iterations
+}
+
+// NewCFD builds an ny x nx lid-driven channel grid.
+func NewCFD(ctx *cunum.Context, ny, nx int) *CFD {
+	c := &CFD{
+		ctx: ctx, ny: ny, nx: nx,
+		dx: 2.0 / float64(nx-1), dy: 2.0 / float64(ny-1),
+		rho: 1.0, nu: 0.1, nit: 10,
+	}
+	c.dt = 0.25 * c.dx * c.dy / c.nu // diffusive stability
+	c.U = ctx.Zeros(ny, nx).Keep()
+	c.V = ctx.Zeros(ny, nx).Keep()
+	c.Pr = ctx.Zeros(ny, nx).Keep()
+	return c
+}
+
+// interior returns f[1:-1, 1:-1] as an ephemeral view (dropped by the
+// operation that consumes it, like Python's anonymous slice objects).
+func interior(f *cunum.Array) *cunum.Array {
+	return f.Slice([]int{1, 1}, []int{-1, -1}).Temp()
+}
+
+// shifted neighbours of the interior block (ephemeral views).
+func east(f *cunum.Array) *cunum.Array  { return f.Slice([]int{1, 2}, []int{-1, 0}).Temp() }
+func west(f *cunum.Array) *cunum.Array  { return f.Slice([]int{1, 0}, []int{-1, -2}).Temp() }
+func north(f *cunum.Array) *cunum.Array { return f.Slice([]int{0, 1}, []int{-2, -1}).Temp() }
+func south(f *cunum.Array) *cunum.Array { return f.Slice([]int{2, 1}, []int{0, -1}).Temp() }
+
+// buildUpB computes the source term of the pressure-Poisson equation on
+// the interior (returns a (ny-2, nx-2) array).
+func (c *CFD) buildUpB() *cunum.Array {
+	u, v := c.U, c.V
+	dudx := east(u).Sub(west(u)).DivC(2 * c.dx).Keep()
+	dvdy := south(v).Sub(north(v)).DivC(2 * c.dy).Keep()
+	dudy := south(u).Sub(north(u)).DivC(2 * c.dy).Keep()
+	dvdx := east(v).Sub(west(v)).DivC(2 * c.dx).Keep()
+
+	t1 := dudx.Add(dvdy).MulC(1 / c.dt)
+	t2 := dudx.Square()
+	t3 := dudy.Mul(dvdx).MulC(2)
+	t4 := dvdy.Square()
+	b := t1.Sub(t2).Sub(t3).Sub(t4).MulC(c.rho).Keep()
+	dudx.Free()
+	dvdy.Free()
+	dudy.Free()
+	dvdx.Free()
+	return b
+}
+
+// pressurePoisson relaxes the pressure field nit times against the source
+// term b.
+func (c *CFD) pressurePoisson(b *cunum.Array) {
+	dx2, dy2 := c.dx*c.dx, c.dy*c.dy
+	denom := 2 * (dx2 + dy2)
+	p := c.Pr
+	for q := 0; q < c.nit; q++ {
+		pn := c.ctx.Empty(c.ny, c.nx)
+		pn.Assign(p)
+		horiz := east(pn).Add(west(pn)).MulC(dy2)
+		vert := south(pn).Add(north(pn)).MulC(dx2)
+		lap := horiz.Add(vert).DivC(denom)
+		rhs := b.MulC(dx2 * dy2 / denom)
+		pInt := lap.Sub(rhs)
+		interior(p).Assign(pInt)
+		pn.Free()
+		// Boundary conditions: dp/dx = 0 at x = 0, 2; dp/dy = 0 at y = 0;
+		// p = 0 at the lid.
+		p.Slice([]int{0, c.nx - 1}, []int{c.ny, c.nx}).Temp().Assign(p.Slice([]int{0, c.nx - 2}, []int{c.ny, c.nx - 1}).Temp())
+		p.Slice([]int{0, 0}, []int{1, c.nx}).Temp().Assign(p.Slice([]int{1, 0}, []int{2, c.nx}).Temp())
+		p.Slice([]int{0, 0}, []int{c.ny, 1}).Temp().Assign(p.Slice([]int{0, 1}, []int{c.ny, 2}).Temp())
+		p.Slice([]int{c.ny - 1, 0}, []int{c.ny, c.nx}).Temp().Fill(0)
+	}
+}
+
+// Step advances velocity and pressure by one time step.
+func (c *CFD) Step() {
+	b := c.buildUpB()
+	c.pressurePoisson(b)
+	b.Free()
+
+	un := c.ctx.Empty(c.ny, c.nx)
+	un.Assign(c.U)
+	un.Keep()
+	vn := c.ctx.Empty(c.ny, c.nx)
+	vn.Assign(c.V)
+	vn.Keep()
+	p := c.Pr
+
+	dtdx, dtdy := c.dt/c.dx, c.dt/c.dy
+	nuX, nuY := c.nu*c.dt/(c.dx*c.dx), c.nu*c.dt/(c.dy*c.dy)
+
+	uc := interior(un).Keep() // reused many times below
+	vc := interior(vn).Keep()
+
+	// u momentum.
+	conv := uc.Mul(uc.Sub(west(un))).MulC(dtdx).
+		Add(vc.Mul(uc.Sub(north(un))).MulC(dtdy))
+	pgrad := east(p).Sub(west(p)).MulC(c.dt / (2 * c.rho * c.dx))
+	diff := east(un).Sub(uc.MulC(2)).Add(west(un)).MulC(nuX).
+		Add(south(un).Sub(uc.MulC(2)).Add(north(un)).MulC(nuY))
+	uNew := uc.Sub(conv).Sub(pgrad).Add(diff)
+	interior(c.U).Assign(uNew)
+
+	// v momentum.
+	convV := uc.Mul(vc.Sub(west(vn))).MulC(dtdx).
+		Add(vc.Mul(vc.Sub(north(vn))).MulC(dtdy))
+	pgradV := south(p).Sub(north(p)).MulC(c.dt / (2 * c.rho * c.dy))
+	diffV := east(vn).Sub(vc.MulC(2)).Add(west(vn)).MulC(nuX).
+		Add(south(vn).Sub(vc.MulC(2)).Add(north(vn)).MulC(nuY))
+	vNew := vc.Sub(convV).Sub(pgradV).Add(diffV)
+	interior(c.V).Assign(vNew)
+
+	// Velocity boundary conditions: no-slip walls, moving lid.
+	c.U.Slice([]int{0, 0}, []int{1, c.nx}).Temp().Fill(0)
+	c.U.Slice([]int{0, 0}, []int{c.ny, 1}).Temp().Fill(0)
+	c.U.Slice([]int{0, c.nx - 1}, []int{c.ny, c.nx}).Temp().Fill(0)
+	c.U.Slice([]int{c.ny - 1, 0}, []int{c.ny, c.nx}).Temp().Fill(1)
+	c.V.Slice([]int{0, 0}, []int{1, c.nx}).Temp().Fill(0)
+	c.V.Slice([]int{c.ny - 1, 0}, []int{c.ny, c.nx}).Temp().Fill(0)
+	c.V.Slice([]int{0, 0}, []int{c.ny, 1}).Temp().Fill(0)
+	c.V.Slice([]int{0, c.nx - 1}, []int{c.ny, c.nx}).Temp().Fill(0)
+
+	uc.Free()
+	vc.Free()
+	un.Free()
+	vn.Free()
+}
+
+// Iterate advances n time steps.
+func (c *CFD) Iterate(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+		// Iteration boundary: flush the window (paper Fig. 6's
+		// flush_window), aligning fusion windows to the application's
+		// natural period so the memoized analysis replays verbatim.
+		c.ctx.Flush()
+	}
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"diffuse/cunum"
+	"diffuse/internal/legion"
+	"diffuse/sparse"
+)
+
+// BuildPoisson2D assembles the standard 5-point finite-difference
+// Laplacian on an n x n grid (N = n*n rows, <=5 nonzeros per row) — the
+// matrix family used by the paper's Krylov-solver and multigrid
+// experiments. In ModeSim the structure is declared synthetically (it is
+// never dereferenced); in ModeReal the CSR arrays are materialized.
+func BuildPoisson2D(ctx *cunum.Context, n int) *sparse.CSR {
+	N := n * n
+	if ctx.Runtime().Config().Mode == legion.ModeSim {
+		// Each row block needs the grid row above and below: 2n values.
+		return sparse.Synthetic(ctx, "poisson2d", N, N, 4.96, 16*float64(n))
+	}
+	rowptr := make([]int64, N+1)
+	col := make([]int32, 0, 5*N)
+	val := make([]float64, 0, 5*N)
+	for i := 0; i < n; i++ {
+		for jj := 0; jj < n; jj++ {
+			row := i*n + jj
+			add := func(c int, v float64) {
+				col = append(col, int32(c))
+				val = append(val, v)
+			}
+			if i > 0 {
+				add(row-n, -1)
+			}
+			if jj > 0 {
+				add(row-1, -1)
+			}
+			add(row, 4)
+			if jj < n-1 {
+				add(row+1, -1)
+			}
+			if i < n-1 {
+				add(row+n, -1)
+			}
+			rowptr[row+1] = int64(len(col))
+		}
+	}
+	return sparse.New(ctx, "poisson2d", N, N, rowptr, col, val)
+}
+
+// BuildInjection2D assembles the injection restriction operator from an
+// n x n grid to an (n/2) x (n/2) grid as a sparse matrix (one nonzero per
+// coarse row), the paper's GMG restriction operator. Coarse vertex (ci,cj)
+// coincides with fine vertex (2ci+1, 2cj+1), the standard vertex-centred
+// coarsening for interior-unknown Dirichlet grids.
+func BuildInjection2D(ctx *cunum.Context, n int) *sparse.CSR {
+	nc := n / 2
+	Nc, Nf := nc*nc, n*n
+	if ctx.Runtime().Config().Mode == legion.ModeSim {
+		return sparse.Synthetic(ctx, "inject2d", Nc, Nf, 1, 8*float64(n))
+	}
+	rowptr := make([]int64, Nc+1)
+	col := make([]int32, Nc)
+	val := make([]float64, Nc)
+	for ci := 0; ci < nc; ci++ {
+		for cj := 0; cj < nc; cj++ {
+			r := ci*nc + cj
+			col[r] = int32((2*ci+1)*n + (2*cj + 1))
+			val[r] = 1
+			rowptr[r+1] = int64(r + 1)
+		}
+	}
+	return sparse.New(ctx, "inject2d", Nc, Nf, rowptr, col, val)
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// BuildProlongation2D assembles bilinear prolongation from an (n/2) x
+// (n/2) grid to an n x n grid: fine vertices coinciding with coarse
+// vertices copy them, edge vertices average two, cell vertices average
+// four; neighbours beyond the boundary contribute the Dirichlet zero.
+func BuildProlongation2D(ctx *cunum.Context, n int) *sparse.CSR {
+	nc := n / 2
+	Nc, Nf := nc*nc, n*n
+	if ctx.Runtime().Config().Mode == legion.ModeSim {
+		return sparse.Synthetic(ctx, "prolong2d", Nf, Nc, 2.25, 8*float64(n/2))
+	}
+	rowptr := make([]int64, Nf+1)
+	col := make([]int32, 0, 4*Nf)
+	val := make([]float64, 0, 4*Nf)
+	for fi := 0; fi < n; fi++ {
+		for fj := 0; fj < n; fj++ {
+			r := fi*n + fj
+			ci := floorDiv(fi-1, 2)
+			cj := floorDiv(fj-1, 2)
+			oi := (fi - 1) - 2*ci
+			oj := (fj - 1) - 2*cj
+			add := func(ci, cj int, v float64) {
+				if ci >= 0 && ci < nc && cj >= 0 && cj < nc {
+					col = append(col, int32(ci*nc+cj))
+					val = append(val, v)
+				}
+			}
+			switch {
+			case oi == 0 && oj == 0:
+				add(ci, cj, 1)
+			case oi != 0 && oj == 0:
+				add(ci, cj, 0.5)
+				add(ci+1, cj, 0.5)
+			case oi == 0 && oj != 0:
+				add(ci, cj, 0.5)
+				add(ci, cj+1, 0.5)
+			default:
+				add(ci, cj, 0.25)
+				add(ci+1, cj, 0.25)
+				add(ci, cj+1, 0.25)
+				add(ci+1, cj+1, 0.25)
+			}
+			rowptr[r+1] = int64(len(col))
+		}
+	}
+	return sparse.New(ctx, "prolong2d", Nf, Nc, rowptr, col, val)
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// Miniature-scale sanity runs of the simulated experiments: shapes only
+// (who wins), not absolute numbers.
+
+const testScale Scale = 1.0
+
+func TestBlackScholesShape(t *testing.T) {
+	vs := BlackScholesVariants(testScale)
+	fused := WeakScale(vs[0], []int{1, 8}, 4, 3)
+	unfused := WeakScale(vs[1], []int{1, 8}, 4, 3)
+	for _, g := range []int{1, 8} {
+		r := fused.Throughput[g] / unfused.Throughput[g]
+		if r < 3 {
+			t.Fatalf("Black-Scholes fusion speedup at %d GPUs only %.2fx", g, r)
+		}
+	}
+}
+
+func TestJacobiShape(t *testing.T) {
+	vs := JacobiVariants(testScale)
+	fused := WeakScale(vs[0], []int{1, 8}, 4, 3)
+	unfused := WeakScale(vs[1], []int{1, 8}, 4, 3)
+	for _, g := range []int{1, 8} {
+		r := fused.Throughput[g] / unfused.Throughput[g]
+		if r < 0.85 || r > 1.3 {
+			t.Fatalf("Jacobi fusion ratio at %d GPUs is %.2fx, want ~1.0", g, r)
+		}
+	}
+}
+
+func TestCGShape(t *testing.T) {
+	vs := CGVariants(testScale)
+	get := func(name string) Series {
+		for _, v := range vs {
+			if v.Name == name {
+				return WeakScale(v, []int{8}, 4, 6)
+			}
+		}
+		t.Fatalf("missing variant %s", name)
+		return Series{}
+	}
+	fused := get("Fused")
+	manual := get("ManuallyFused")
+	unfused := get("Unfused")
+	if fused.Throughput[8] < unfused.Throughput[8] {
+		t.Fatalf("CG fused (%.2f) should beat unfused (%.2f)", fused.Throughput[8], unfused.Throughput[8])
+	}
+	if fused.Throughput[8] < manual.Throughput[8]*0.95 {
+		t.Fatalf("CG fused (%.2f) should match or beat manually fused (%.2f)", fused.Throughput[8], manual.Throughput[8])
+	}
+}
+
+func TestSWEShape(t *testing.T) {
+	vs := SWEVariants(testScale)
+	fused := WeakScale(vs[0], []int{8}, 4, 3)
+	manual := WeakScale(vs[1], []int{8}, 4, 3)
+	unfused := WeakScale(vs[2], []int{8}, 4, 3)
+	if fused.Throughput[8] <= unfused.Throughput[8] {
+		t.Fatalf("SWE fused (%.2f) should beat unfused (%.2f)", fused.Throughput[8], unfused.Throughput[8])
+	}
+	if fused.Throughput[8] <= manual.Throughput[8]*0.98 {
+		t.Fatalf("SWE fused (%.2f) should beat manually fused (%.2f)", fused.Throughput[8], manual.Throughput[8])
+	}
+}
+
+func TestFig9Table(t *testing.T) {
+	makers := AppMakers(testScale)
+	row := MeasureTaskStats("Black-Scholes", makers["Black-Scholes"], 3)
+	if row.TasksPerIter < 30 {
+		t.Fatalf("Black-Scholes tasks/iter = %.1f, want >= 30", row.TasksPerIter)
+	}
+	if row.FusedPerIter > row.TasksPerIter/4 {
+		t.Fatalf("fusion should collapse the Black-Scholes stream: %.1f -> %.1f", row.TasksPerIter, row.FusedPerIter)
+	}
+	jr := MeasureTaskStats("Jacobi", makers["Jacobi"], 3)
+	if jr.TasksPerIter < 2.5 || jr.TasksPerIter > 4.5 {
+		t.Fatalf("Jacobi tasks/iter = %.1f, want ~3", jr.TasksPerIter)
+	}
+	PrintTaskStats(os.Stderr, []TaskStats{row, jr})
+}
+
+func TestBiCGSTABShape(t *testing.T) {
+	vs := BiCGSTABVariants(testScale)
+	fused := WeakScale(vs[0], []int{8}, 5, 5)
+	petsc := WeakScale(vs[1], []int{8}, 5, 5)
+	unfused := WeakScale(vs[2], []int{8}, 5, 5)
+	if fused.Throughput[8] <= petsc.Throughput[8] {
+		t.Fatalf("BiCGSTAB fused (%.2f) should beat PETSc (%.2f)", fused.Throughput[8], petsc.Throughput[8])
+	}
+	r := fused.Throughput[8] / unfused.Throughput[8]
+	if r < 1.1 || r > 2.5 {
+		t.Fatalf("BiCGSTAB fused/unfused = %.2fx, expected paper-shaped ~1.3-1.4x", r)
+	}
+}
+
+func TestGMGShape(t *testing.T) {
+	vs := GMGVariants(testScale)
+	fused := WeakScale(vs[0], []int{8}, 5, 4)
+	unfused := WeakScale(vs[1], []int{8}, 5, 4)
+	r := fused.Throughput[8] / unfused.Throughput[8]
+	if r < 1.05 || r > 2.0 {
+		t.Fatalf("GMG fused/unfused = %.2fx, paper shape is ~1.2x", r)
+	}
+}
+
+func TestCFDShape(t *testing.T) {
+	vs := CFDVariants(testScale)
+	fused := WeakScale(vs[0], []int{1, 8}, 7, 3)
+	unfused := WeakScale(vs[1], []int{1, 8}, 7, 3)
+	for _, g := range []int{1, 8} {
+		if fused.Throughput[g] <= unfused.Throughput[g] {
+			t.Fatalf("CFD fused must win at %d GPUs", g)
+		}
+	}
+	// Single-GPU speedup >= multi-GPU speedup (paper §7.1).
+	r1 := fused.Throughput[1] / unfused.Throughput[1]
+	r8 := fused.Throughput[8] / unfused.Throughput[8]
+	if r1 < r8*0.98 {
+		t.Fatalf("CFD single-GPU speedup (%.2fx) should be >= multi-GPU (%.2fx)", r1, r8)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	a := Series{Throughput: map[int]float64{1: 2, 2: 8}}
+	b := Series{Throughput: map[int]float64{1: 1, 2: 2}}
+	if g := GeoMeanSpeedup(a, b); g < 2.82 || g > 2.84 {
+		t.Fatalf("geomean(2,4) = %g, want ~2.83", g)
+	}
+}
+
+func TestFig13Compile(t *testing.T) {
+	makers := AppMakers(testScale)
+	row := MeasureCompileStats("CG", makers["CG"], 2)
+	if row.CompiledSec <= row.StandardSec {
+		t.Logf("note: compiled warmup %.3fs <= standard %.3fs (compile hidden)", row.CompiledSec, row.StandardSec)
+	}
+	if row.CompiledSec <= 0 || row.StandardSec <= 0 {
+		t.Fatalf("warmup times must be positive: %+v", row)
+	}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"math"
+
+	"diffuse/cunum"
+	"diffuse/internal/apps"
+	"diffuse/internal/legion"
+	"diffuse/internal/petsc"
+)
+
+// Weak-scaled problem sizes (per-GPU work held constant as the machine
+// grows), chosen so unfused task granularities land in the paper's
+// 1-5 ms range (Fig. 9). Scale lets bench_test.go run miniature versions.
+
+// Scale multiplies all per-GPU problem sizes; 1.0 is the paper-calibrated
+// size. Simulated mode never allocates data, so full scale is cheap.
+type Scale float64
+
+func (s Scale) n(base int) int {
+	v := int(float64(base) * float64(s))
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// side returns a grid side for a 2-D weak-scaled problem with base^2
+// elements per GPU.
+func (s Scale) side(base, gpus int) int {
+	v := int(float64(s.n(base)) * math.Sqrt(float64(gpus)))
+	if v%4 != 0 {
+		v += 4 - v%4
+	}
+	return v
+}
+
+// Per-GPU problem sizes calibrated so unfused task granularities land in
+// the paper's Fig. 9 range (~1-5 ms on the A100 model).
+const (
+	bsPerGPU   = 390_000_000 // Black-Scholes options per GPU
+	jacobiSide = 49152       // dense matrix side at 1 GPU
+	krylovSide = 10000       // Poisson grid side at 1 GPU (1e8 rows)
+	gmgSide    = 12288       // GMG fine-grid side at 1 GPU
+	cfdSide    = 10240       // CFD grid side at 1 GPU
+	sweSide    = 11264       // SWE grid side at 1 GPU
+)
+
+// BlackScholesVariants returns the Fig. 10a lines.
+func BlackScholesVariants(sc Scale) []Variant {
+	mk := func(fused bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			app := apps.NewBlackScholes(ctx, sc.n(bsPerGPU))
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	return []Variant{{"Fused", mk(true)}, {"Unfused", mk(false)}}
+}
+
+// JacobiVariants returns the Fig. 10b lines.
+func JacobiVariants(sc Scale) []Variant {
+	mk := func(fused bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			// Dense: n^2/g constant => n grows with sqrt(g).
+			app := apps.NewJacobiTotal(ctx, sc.side(jacobiSide, g))
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	return []Variant{{"Fused", mk(true)}, {"Unfused", mk(false)}}
+}
+
+// cgInstance builds one CG configuration.
+func cgInstance(g int, fused, manual bool, sc Scale) Instance {
+	ctx := SimContext(g, fused)
+	n := sc.side(krylovSide, g)
+	A := apps.BuildPoisson2D(ctx, n)
+	b := ctx.Ones(A.Rows())
+	app := apps.NewCG(ctx, A, b, manual)
+	return Instance{Ctx: ctx, Iterate: app.Iterate}
+}
+
+func petscCG(g int, sc Scale) Instance {
+	ctx := petsc.NewContext(legion.ModeSim, g)
+	n := sc.side(krylovSide, g)
+	A := apps.BuildPoisson2D(ctx, n)
+	b := ctx.Ones(A.Rows())
+	app := petsc.NewCG(ctx, A, b)
+	return Instance{Ctx: ctx, Iterate: app.Iterate}
+}
+
+// CGVariants returns the Fig. 11a lines.
+func CGVariants(sc Scale) []Variant {
+	return []Variant{
+		{"Fused", func(g int) Instance { return cgInstance(g, true, false, sc) }},
+		{"PETSc", func(g int) Instance { return petscCG(g, sc) }},
+		// The paper's "Manually Fused" baselines are the hand-optimized
+		// implementations run WITHOUT Diffuse.
+		{"ManuallyFused", func(g int) Instance { return cgInstance(g, false, true, sc) }},
+		{"Unfused", func(g int) Instance { return cgInstance(g, false, false, sc) }},
+	}
+}
+
+// BiCGSTABVariants returns the Fig. 11b lines.
+func BiCGSTABVariants(sc Scale) []Variant {
+	mk := func(fused bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(krylovSide, g)
+			A := apps.BuildPoisson2D(ctx, n)
+			b := ctx.Ones(A.Rows())
+			app := apps.NewBiCGSTAB(ctx, A, b)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	pet := func(g int) Instance {
+		ctx := petsc.NewContext(legion.ModeSim, g)
+		n := sc.side(krylovSide, g)
+		A := apps.BuildPoisson2D(ctx, n)
+		b := ctx.Ones(A.Rows())
+		app := petsc.NewBiCGSTAB(ctx, A, b)
+		return Instance{Ctx: ctx, Iterate: app.Iterate}
+	}
+	return []Variant{{"Fused", mk(true)}, {"PETSc", pet}, {"Unfused", mk(false)}}
+}
+
+// GMGVariants returns the Fig. 12a lines.
+func GMGVariants(sc Scale) []Variant {
+	mk := func(fused bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(gmgSide, g)
+			b := ctx.Ones(n * n)
+			app := apps.NewGMG(ctx, n, 3, b)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	return []Variant{{"Fused", mk(true)}, {"Unfused", mk(false)}}
+}
+
+// CFDVariants returns the Fig. 12b lines.
+func CFDVariants(sc Scale) []Variant {
+	mk := func(fused bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(cfdSide, g)
+			app := apps.NewCFD(ctx, n, n)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	return []Variant{{"Fused", mk(true)}, {"Unfused", mk(false)}}
+}
+
+// SWEVariants returns the Fig. 12c lines.
+func SWEVariants(sc Scale) []Variant {
+	mk := func(fused, manual bool) func(int) Instance {
+		return func(g int) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(sweSide, g)
+			app := apps.NewSWE(ctx, n, n, manual)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		}
+	}
+	return []Variant{
+		{"Fused", mk(true, false)},
+		{"ManuallyFused", mk(false, true)},
+		{"Unfused", mk(false, false)},
+	}
+}
+
+// Figures returns all weak-scaling figures at the given scale.
+func Figures(sc Scale) []Figure {
+	// Warmup iterations are excluded from timing, as in §7: they cover
+	// adaptive window growth, JIT compilation, and memo-table saturation.
+	return []Figure{
+		{ID: "fig10a", Title: "Black-Scholes weak scaling", Variants: BlackScholesVariants(sc), Warmup: 6, Iters: 5},
+		{ID: "fig10b", Title: "Jacobi iteration weak scaling", Variants: JacobiVariants(sc), Warmup: 5, Iters: 5},
+		{ID: "fig11a", Title: "CG weak scaling", Variants: CGVariants(sc), Warmup: 6, Iters: 10},
+		{ID: "fig11b", Title: "BiCGSTAB weak scaling", Variants: BiCGSTABVariants(sc), Warmup: 6, Iters: 10},
+		{ID: "fig12a", Title: "GMG weak scaling", Variants: GMGVariants(sc), Warmup: 5, Iters: 5},
+		{ID: "fig12b", Title: "CFD (Navier-Stokes) weak scaling", Variants: CFDVariants(sc), Warmup: 7, Iters: 4},
+		{ID: "fig12c", Title: "TorchSWE weak scaling", Variants: SWEVariants(sc), Warmup: 7, Iters: 5},
+	}
+}
+
+// AppMakers exposes the per-benchmark constructors used by the Fig. 9 and
+// Fig. 13 tables.
+func AppMakers(sc Scale) map[string]func(gpus int, fused bool) Instance {
+	return map[string]func(gpus int, fused bool) Instance{
+		"Black-Scholes": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			app := apps.NewBlackScholes(ctx, sc.n(bsPerGPU))
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+		"Jacobi": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			app := apps.NewJacobiTotal(ctx, sc.side(jacobiSide, g))
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+		"CG": func(g int, fused bool) Instance { return cgInstance(g, fused, false, sc) },
+		"BiCGSTAB": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(krylovSide, g)
+			A := apps.BuildPoisson2D(ctx, n)
+			b := ctx.Ones(A.Rows())
+			app := apps.NewBiCGSTAB(ctx, A, b)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+		"GMG": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(gmgSide, g)
+			b := ctx.Ones(n * n)
+			app := apps.NewGMG(ctx, n, 3, b)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+		"CFD": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(cfdSide, g)
+			app := apps.NewCFD(ctx, n, n)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+		"TorchSWE": func(g int, fused bool) Instance {
+			ctx := SimContext(g, fused)
+			n := sc.side(sweSide, g)
+			app := apps.NewSWE(ctx, n, n, false)
+			return Instance{Ctx: ctx, Iterate: app.Iterate}
+		},
+	}
+}
+
+// CGOn builds the CG workload on an existing context (ablation studies).
+func CGOn(ctx *cunum.Context, sc Scale) Instance {
+	n := sc.side(krylovSide, ctx.Procs())
+	A := apps.BuildPoisson2D(ctx, n)
+	b := ctx.Ones(A.Rows())
+	app := apps.NewCG(ctx, A, b, false)
+	return Instance{Ctx: ctx, Iterate: app.Iterate}
+}
+
+// BenchmarkOrder is the Fig. 9/13 row order.
+var BenchmarkOrder = []string{"Black-Scholes", "Jacobi", "CG", "BiCGSTAB", "GMG", "CFD", "TorchSWE"}

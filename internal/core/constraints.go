@@ -1,0 +1,213 @@
+package core
+
+import "diffuse/internal/ir"
+
+// The four fusion constraints of Fig. 5, implemented as an incremental
+// forwards dataflow over the task window. effects tracks, per store, the
+// partitions through which the prefix so far has read, written, and
+// reduced; admitting one more task is a constant number of map lookups and
+// constant-time partition equality checks per argument — never a pairwise
+// sub-store intersection (that is the scale-free property of §4.2.1).
+
+type storeEffects struct {
+	// writeParts are the distinct partitions through which the prefix
+	// writes the store. Across tasks the true-dependence constraint
+	// forces a single one, but one task may carry several aliasing write
+	// arguments, so a set is required for soundness.
+	writeParts []ir.Partition
+	// readParts are the distinct partitions read so far.
+	readParts []ir.Partition
+	// redOp/redActive track reductions to the store.
+	redActive bool
+	redOp     ir.ReduceOp
+	// allConflict poisons the store: any further access breaks fusion.
+	// Set for writes through replicated (None) partitions on multi-point
+	// launches, which alias across point tasks even under partition
+	// equality — the formal model (Def. 3) rejects them, and so do we.
+	allConflict bool
+}
+
+type dataflow struct {
+	launch  ir.Rect
+	effects map[ir.StoreID]*storeEffects
+}
+
+func newDataflow(first *ir.Task) *dataflow {
+	return &dataflow{launch: first.Launch, effects: map[ir.StoreID]*storeEffects{}}
+}
+
+func (d *dataflow) eff(s *ir.Store) *storeEffects {
+	e, ok := d.effects[s.ID()]
+	if !ok {
+		e = &storeEffects{}
+		d.effects[s.ID()] = e
+	}
+	return e
+}
+
+// admits reports whether appending t to the prefix keeps it fusible.
+func (d *dataflow) admits(t *ir.Task) bool {
+	// Launch-domain equivalence.
+	if !t.Launch.Equal(d.launch) {
+		return false
+	}
+	// Opaque tasks (no kernel) cannot be composed by the compiler; treat
+	// them as fusion barriers.
+	if t.Kernel == nil {
+		return false
+	}
+	// On a single-point launch domain every dependence is trivially
+	// point-wise (Def. 3 quantifies over pairs of distinct points), so the
+	// partition-inequality constraints vanish — this is why the paper's
+	// CFD application fuses longer chains on one GPU than on many (§7.1).
+	// Reduction semantics still demand a combine step before readers, so
+	// the reduction constraint stays.
+	single := d.launch.Size() == 1
+	for _, a := range t.Args {
+		e, tracked := d.effects[a.Store.ID()]
+		if !tracked {
+			if d.selfAliases(a) {
+				// A replicated write on a multi-point launch is not
+				// point-wise even in isolation.
+				return false
+			}
+			continue
+		}
+		if e.allConflict {
+			return false
+		}
+		if d.selfAliases(a) {
+			return false
+		}
+		if a.Priv.Reads() {
+			// true-dependence: an earlier write through P forbids reading
+			// through P' != P.
+			if !single && anyUnequal(e.writeParts, a.Part) {
+				return false
+			}
+			// reduction: reading a store an earlier task reduces to.
+			if e.redActive {
+				return false
+			}
+		}
+		if a.Priv.Writes() {
+			// true-dependence (write-write through differing partitions).
+			if !single && anyUnequal(e.writeParts, a.Part) {
+				return false
+			}
+			// anti-dependence: an earlier read through P' forbids writing
+			// through P != P'.
+			if !single && anyUnequal(e.readParts, a.Part) {
+				return false
+			}
+			// reduction: writing a store an earlier task reduces to.
+			if e.redActive {
+				return false
+			}
+		}
+		if a.Priv.Reduces() {
+			// reduction: a reduce cannot join a prefix that reads or
+			// writes the store (either order is excluded by Fig. 5's
+			// i != j quantifier).
+			if len(e.writeParts) > 0 || len(e.readParts) > 0 {
+				return false
+			}
+			// Differing reduction operators do not commute.
+			if e.redActive && e.redOp != a.Red {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selfAliases reports whether the argument's own point tasks alias each
+// other destructively: a write or reduction through a partition that maps
+// multiple points to overlapping data. Only replicated (None) partitions
+// on multi-point launches do this among our partition kinds; non-identity
+// projections are conservatively included.
+func (d *dataflow) selfAliases(a ir.Arg) bool {
+	if !a.Priv.Writes() {
+		return false
+	}
+	if d.launch.Size() <= 1 {
+		return false
+	}
+	switch p := a.Part.(type) {
+	case *ir.NonePart:
+		return true
+	case *ir.TilingPart:
+		return p.Proj != ir.IdentityProj
+	default:
+		return true
+	}
+}
+
+// anyUnequal reports whether the set contains a partition different from p.
+func anyUnequal(set []ir.Partition, p ir.Partition) bool {
+	for _, q := range set {
+		if !q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func addPart(set []ir.Partition, p ir.Partition) []ir.Partition {
+	for _, q := range set {
+		if q.Equal(p) {
+			return set
+		}
+	}
+	return append(set, p)
+}
+
+// record folds t's effects into the dataflow state (t must have been
+// admitted).
+func (d *dataflow) record(t *ir.Task) {
+	for _, a := range t.Args {
+		e := d.eff(a.Store)
+		if a.Priv.Reads() {
+			e.readParts = addPart(e.readParts, a.Part)
+		}
+		if a.Priv.Writes() {
+			e.writeParts = addPart(e.writeParts, a.Part)
+		}
+		if a.Priv.Reduces() {
+			e.redActive = true
+			e.redOp = a.Red
+		}
+	}
+}
+
+// fusiblePrefix returns the length of the longest fusible prefix of the
+// window (always >= 1: a single task is trivially "fusible" and is emitted
+// unfused).
+func fusiblePrefix(window []*ir.Task) int {
+	d := newDataflow(window[0])
+	// The first task joins unconditionally at the task level, but a task
+	// whose own arguments self-alias must run alone (it is still legal for
+	// the runtime, which serializes it; it just cannot be fused).
+	if window[0].Kernel == nil || firstSelfAliases(d, window[0]) {
+		return 1
+	}
+	d.record(window[0])
+	n := 1
+	for n < len(window) {
+		if !d.admits(window[n]) {
+			break
+		}
+		d.record(window[n])
+		n++
+	}
+	return n
+}
+
+func firstSelfAliases(d *dataflow, t *ir.Task) bool {
+	for _, a := range t.Args {
+		if d.selfAliases(a) {
+			return true
+		}
+	}
+	return false
+}

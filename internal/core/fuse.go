@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/legion"
+)
+
+// fusionPlan is the (memoizable) outcome of analyzing one window: how long
+// the fusible prefix is, how prefix-task arguments map onto fused-task
+// parameters, which parameters are eliminated temporaries, and the
+// optimized, compiled-on-first-use fused kernel. Plans reference stores
+// positionally (task index, argument index) so that a plan computed for one
+// window can be replayed on any isomorphic window (paper §5.2).
+type fusionPlan struct {
+	prefixLen int
+	// params[i] describes fused parameter i.
+	params []fusedParam
+	// mappings[t][a] is the fused parameter index of task t's argument a.
+	mappings [][]int
+	// kernel is the optimized fused kernel, shared across replays so the
+	// runtime compiles it exactly once.
+	kernel *kir.Kernel
+	// temps counts eliminated temporaries (stats).
+	temps int
+}
+
+type fusedParam struct {
+	taskIdx, argIdx int // representative argument (store & partition source)
+	priv            ir.Privilege
+	red             ir.ReduceOp
+	temp            bool
+}
+
+type memoEntry struct {
+	plan *fusionPlan
+}
+
+// analyze returns the fusion plan for the current window, consulting the
+// memo table keyed by the window's canonical form.
+func (r *Runtime) analyze() *fusionPlan {
+	if !r.cfg.NoMemo {
+		key := ir.Canonicalize(r.window, func(s *ir.Store) string {
+			if s.AppLive() {
+				return "live"
+			}
+			return "dead"
+		})
+		if e, ok := r.memo[key]; ok {
+			r.stats.MemoHits++
+			return e.plan
+		}
+		plan := r.computePlan()
+		r.memo[key] = &memoEntry{plan: plan}
+		r.stats.MemoMisses++
+		return plan
+	}
+	return r.computePlan()
+}
+
+// computePlan runs the full analysis: fusible prefix, argument merging,
+// temporary-store elimination, kernel composition and optimization.
+func (r *Runtime) computePlan() *fusionPlan {
+	plan := &fusionPlan{prefixLen: fusiblePrefix(r.window)}
+	if plan.prefixLen <= 1 {
+		return plan
+	}
+	prefix := r.window[:plan.prefixLen]
+	suffix := r.window[plan.prefixLen:]
+
+	// Merge arguments: one fused parameter per distinct (store, partition),
+	// with privileges promoted (R+W -> RW; paper §4.2.2).
+	type key struct {
+		store ir.StoreID
+		fp    string
+	}
+	index := map[key]int{}
+	plan.mappings = make([][]int, len(prefix))
+	for ti, t := range prefix {
+		plan.mappings[ti] = make([]int, len(t.Args))
+		for ai, a := range t.Args {
+			k := key{store: a.Store.ID(), fp: a.Part.Fingerprint()}
+			pi, ok := index[k]
+			if !ok {
+				pi = len(plan.params)
+				index[k] = pi
+				plan.params = append(plan.params, fusedParam{
+					taskIdx: ti, argIdx: ai, priv: a.Priv, red: a.Red,
+				})
+			} else {
+				p := &plan.params[pi]
+				p.priv = mergePriv(p.priv, a.Priv)
+			}
+			plan.mappings[ti][ai] = pi
+		}
+	}
+
+	// Temporary store elimination (Definition 4). A store is temporary in
+	// the fusion iff (1) every read of it inside the prefix is preceded by
+	// a covering write through the same partition, (2) no task after the
+	// prefix reads or reduces it, and (3) the application holds no live
+	// reference. Reduction targets keep their regions (reduction cells
+	// survive the task).
+	if !r.cfg.NoTempElim {
+		r.findTemps(plan, prefix, suffix)
+	}
+
+	// Compose and optimize the fused kernel (Fig. 8).
+	kernels := make([]*kir.Kernel, len(prefix))
+	for i, t := range prefix {
+		kernels[i] = t.Kernel
+	}
+	fused := kir.Concat(fmt.Sprintf("fused%d", len(prefix)), len(plan.params), kernels, plan.mappings)
+	for pi, p := range plan.params {
+		if p.temp {
+			fused.MarkLocal(pi)
+		}
+	}
+	if !r.cfg.TaskFusionOnly {
+		// Two parameters alias when they are distinct views (different
+		// partitions) of one store; the loop-fusion pass must not
+		// interleave a write with aliased accesses (possible only for
+		// single-point launches, where the constraints admit such tasks).
+		storeOf := make([]ir.StoreID, len(plan.params))
+		fpOf := make([]string, len(plan.params))
+		for pi, p := range plan.params {
+			a := prefix[p.taskIdx].Args[p.argIdx]
+			storeOf[pi] = a.Store.ID()
+			fpOf[pi] = a.Part.Fingerprint()
+		}
+		alias := func(p, q int) bool {
+			return storeOf[p] == storeOf[q] && fpOf[p] != fpOf[q]
+		}
+		fused = kir.Optimize(fused, alias)
+	}
+	plan.kernel = fused
+
+	// Account (and, in simulation, charge) JIT compilation: this is a
+	// fresh kernel the compiler has not seen.
+	t0 := now()
+	comp := r.leg.Compiled(fused)
+	r.stats.CompileSeconds += now().Sub(t0).Seconds()
+	r.stats.KernelsCompiled++
+	if r.cfg.ChargeCompile && r.cfg.Mode == legion.ModeSim {
+		r.leg.Sim().Compile(comp.NOps)
+	}
+	return plan
+}
+
+// findTemps marks fused parameters whose stores satisfy Definition 4.
+func (r *Runtime) findTemps(plan *fusionPlan, prefix, suffix []*ir.Task) {
+	// Per store: scan the prefix in program order.
+	type state struct {
+		coveredBy ir.Partition // partition of a covering write seen so far
+		badRead   bool         // a read not preceded by a covering write
+		reduced   bool
+	}
+	states := map[ir.StoreID]*state{}
+	st := func(s *ir.Store) *state {
+		x, ok := states[s.ID()]
+		if !ok {
+			x = &state{}
+			states[s.ID()] = x
+		}
+		return x
+	}
+	for _, t := range prefix {
+		for _, a := range t.Args {
+			x := st(a.Store)
+			if a.Priv.Reads() {
+				if x.coveredBy == nil || !x.coveredBy.Equal(a.Part) {
+					x.badRead = true
+				}
+			}
+			if a.Priv.Writes() && a.Part.Covers(a.Store.Bounds()) {
+				x.coveredBy = a.Part
+			}
+			if a.Priv.Reduces() {
+				x.reduced = true
+			}
+		}
+	}
+	// Condition 2: suffix (still-pending tasks) must not read or reduce.
+	suffixReads := map[ir.StoreID]bool{}
+	for _, t := range suffix {
+		for _, a := range t.Args {
+			if a.Priv.Reads() || a.Priv.Reduces() {
+				suffixReads[a.Store.ID()] = true
+			}
+		}
+	}
+	for pi := range plan.params {
+		p := &plan.params[pi]
+		a := prefix[p.taskIdx].Args[p.argIdx]
+		s := a.Store
+		x := states[s.ID()]
+		if x == nil || x.badRead || x.reduced {
+			continue
+		}
+		if x.coveredBy == nil {
+			continue // never produced inside the fusion
+		}
+		if suffixReads[s.ID()] {
+			continue
+		}
+		if s.AppLive() {
+			continue
+		}
+		p.temp = true
+	}
+	// A store reachable through several fused parameters (distinct
+	// partitions — possible under single-point-launch fusion, where
+	// aliasing accesses are admitted) must never be demoted: each local
+	// parameter would get its own task-local buffer, severing the aliasing
+	// between the views. Keep such stores in distributed storage.
+	byStore := map[ir.StoreID][]int{}
+	for pi := range plan.params {
+		p := plan.params[pi]
+		s := prefix[p.taskIdx].Args[p.argIdx].Store
+		byStore[s.ID()] = append(byStore[s.ID()], pi)
+	}
+	for _, pis := range byStore {
+		if len(pis) < 2 {
+			continue
+		}
+		for _, pi := range pis {
+			plan.params[pi].temp = false
+		}
+	}
+	for _, p := range plan.params {
+		if p.temp {
+			plan.temps++
+		}
+	}
+}
+
+// mergePriv promotes privileges when a store is accessed several ways
+// within the fused task.
+func mergePriv(a, b ir.Privilege) ir.Privilege {
+	if a == b {
+		return a
+	}
+	if a == ir.Reduce || b == ir.Reduce {
+		// The constraints never admit mixing reductions with reads or
+		// writes of the same store.
+		panic("core: cannot merge Reduce with other privileges")
+	}
+	return ir.ReadWrite
+}
+
+// buildFused materializes the plan against the actual window prefix.
+func (r *Runtime) buildFused(plan *fusionPlan, prefix []*ir.Task) *ir.Task {
+	args := make([]ir.Arg, len(plan.params))
+	for pi, p := range plan.params {
+		src := prefix[p.taskIdx].Args[p.argIdx]
+		args[pi] = ir.Arg{Store: src.Store, Part: src.Part, Priv: p.priv, Red: p.red, HaloBytes: src.HaloBytes}
+	}
+	r.stats.TempsEliminated += int64(plan.temps)
+	return &ir.Task{
+		Name:      plan.kernel.Name,
+		Launch:    prefix[0].Launch,
+		Args:      args,
+		Kernel:    plan.kernel,
+		Payload:   legion.MergePayloads(prefix),
+		FusedFrom: len(prefix),
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements Diffuse itself: the dynamic task-fusion layer
+// that sits between task-based libraries (cunum, sparse) and the underlying
+// task runtime (internal/legion), per §4–§6 of the paper.
+//
+// Applications submit index tasks; Diffuse buffers them into a window,
+// finds the longest fusible prefix using four scale-free fusion constraints
+// (Fig. 5), replaces the prefix with a single fused task whose kernel is
+// the optimized composition of the prefix's kernels, eliminates distributed
+// temporaries (Def. 4), and memoizes the whole analysis over isomorphic
+// task streams (§5.2) before forwarding tasks to the runtime.
+package core
+
+import (
+	"time"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+// Config controls a Diffuse runtime instance.
+type Config struct {
+	// Mode selects real or simulated execution in the underlying runtime.
+	Mode legion.Mode
+	// Machine configures the simulated cluster (ModeSim) and the default
+	// launch width used by libraries.
+	Machine machine.Config
+
+	// Enabled turns the fusion layer on. When false, Diffuse is a
+	// pass-through and the system behaves like standard cuPyNumeric /
+	// Legate Sparse (the paper's "Unfused" baseline).
+	Enabled bool
+	// TaskFusionOnly fuses tasks but skips kernel optimization (loop
+	// fusion / scalarization), reproducing the ablation discussed in §7:
+	// task fusion alone only removes runtime overhead.
+	TaskFusionOnly bool
+	// NoTempElim disables temporary store elimination (§5.1 ablation).
+	NoTempElim bool
+	// NoMemo disables memoization of the fusion analysis (§5.2 ablation).
+	NoMemo bool
+	// ChargeCompile charges simulated JIT compilation time for each newly
+	// compiled fused kernel (Fig. 13). Defaults on when Enabled.
+	ChargeCompile bool
+
+	// InitialWindow is the starting task-window size (the paper's window
+	// sizes are selected automatically by growing the window whenever an
+	// entire window fuses; see §7 overview).
+	InitialWindow int
+	// MaxWindow caps automatic window growth.
+	MaxWindow int
+}
+
+// DefaultConfig returns a fused, real-execution configuration on the given
+// number of (simulated) processors.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Mode:          legion.ModeReal,
+		Machine:       machine.DefaultA100(procs),
+		Enabled:       true,
+		ChargeCompile: true,
+		InitialWindow: 5,
+		MaxWindow:     512,
+	}
+}
+
+// Stats exposes Diffuse's accounting, consumed by the Fig. 9 / Fig. 13
+// harnesses.
+type Stats struct {
+	Submitted       int64 // tasks entering the window
+	Emitted         int64 // tasks forwarded to the runtime
+	FusedTasks      int64 // emitted tasks that are fusions
+	FusedOriginals  int64 // original tasks folded into fusions
+	TempsEliminated int64
+	MemoHits        int64
+	MemoMisses      int64
+	KernelsCompiled int64
+	CompileSeconds  float64 // real (wall-clock) JIT time spent
+	WindowSize      int     // current adaptive window size
+	WindowGrowths   int64
+}
+
+// Runtime is a Diffuse instance.
+type Runtime struct {
+	cfg    Config
+	leg    *legion.Runtime
+	fact   ir.Factory
+	window []*ir.Task
+	memo   map[string]*memoEntry
+	seq    int64
+	stats  Stats
+}
+
+// New creates a Diffuse runtime.
+func New(cfg Config) *Runtime {
+	if cfg.InitialWindow <= 0 {
+		cfg.InitialWindow = 5
+	}
+	if cfg.MaxWindow <= 0 {
+		cfg.MaxWindow = 512
+	}
+	r := &Runtime{
+		cfg:  cfg,
+		leg:  legion.New(cfg.Mode, cfg.Machine),
+		memo: map[string]*memoEntry{},
+	}
+	r.stats.WindowSize = cfg.InitialWindow
+	return r
+}
+
+// Config returns the runtime's configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Legion exposes the underlying runtime (data access for libraries/tests).
+func (r *Runtime) Legion() *legion.Runtime { return r.leg }
+
+// Factory returns the store factory of this runtime.
+func (r *Runtime) Factory() *ir.Factory { return &r.fact }
+
+// Stats returns a snapshot of the accounting counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// Procs returns the number of processors tasks are decomposed over.
+func (r *Runtime) Procs() int { return r.cfg.Machine.GPUs }
+
+// NewStore allocates a store with one application reference.
+func (r *Runtime) NewStore(name string, shape []int) *ir.Store {
+	return r.fact.NewStore(name, shape)
+}
+
+// ReleaseStore drops the application's reference to a store. If the store
+// becomes dead its region is reclaimed; if pending tasks still reference it
+// the reclamation happens when the last one completes.
+func (r *Runtime) ReleaseStore(s *ir.Store) {
+	s.ReleaseApp()
+	if s.Dead() {
+		r.leg.FreeStore(s.ID())
+	}
+}
+
+// Submit hands a task to Diffuse. The task enters the window; windows are
+// analyzed when full. Submission retains runtime references on all
+// argument stores until the task has executed.
+func (r *Runtime) Submit(t *ir.Task) {
+	r.seq++
+	t.Seq = r.seq
+	for _, a := range t.Args {
+		a.Store.RetainRuntime()
+	}
+	r.stats.Submitted++
+
+	if !r.cfg.Enabled {
+		r.emit(t, []*ir.Task{t})
+		return
+	}
+	// Process a full window before admitting the new task: deferring
+	// processing to the next submission lets the issuing library release
+	// its ephemeral handles first, so the liveness information consumed by
+	// temporary-store elimination (Def. 4, condition 3) is up to date —
+	// the moral equivalent of Python refcounts having settled.
+	for len(r.window) >= r.stats.WindowSize {
+		r.processOnce()
+	}
+	r.window = append(r.window, t)
+}
+
+// Flush drains the window, analyzing and emitting everything buffered
+// (the flush_window of Fig. 6).
+func (r *Runtime) Flush() {
+	for len(r.window) > 0 {
+		r.processOnce()
+	}
+}
+
+// emit forwards a task to the runtime and settles reference counts for the
+// original tasks it stands for.
+func (r *Runtime) emit(t *ir.Task, origs []*ir.Task) {
+	r.leg.Execute(t)
+	r.stats.Emitted++
+	if t.FusedFrom > 0 {
+		r.stats.FusedTasks++
+		r.stats.FusedOriginals += int64(t.FusedFrom)
+	}
+	for _, o := range origs {
+		for _, a := range o.Args {
+			a.Store.ReleaseRuntime()
+			if a.Store.Dead() {
+				r.leg.FreeStore(a.Store.ID())
+			}
+		}
+	}
+}
+
+// processOnce analyzes the current window, emits its fusible prefix (fused
+// when longer than one task), and grows the window when everything fused.
+func (r *Runtime) processOnce() {
+	if len(r.window) == 0 {
+		return
+	}
+	plan := r.analyze()
+	prefix := r.window[:plan.prefixLen]
+
+	if plan.prefixLen == 1 {
+		r.emit(prefix[0], prefix)
+	} else {
+		fused := r.buildFused(plan, prefix)
+		r.emit(fused, prefix)
+	}
+	r.window = append(r.window[:0], r.window[plan.prefixLen:]...)
+
+	// Adaptive window sizing: if the entire window fused, a larger window
+	// might fuse more (§7: window sizes were selected automatically by
+	// Diffuse through a process that increases the window size when all
+	// tasks in the current window were fused).
+	if plan.prefixLen >= r.stats.WindowSize && r.stats.WindowSize < r.cfg.MaxWindow {
+		r.stats.WindowSize *= 2
+		if r.stats.WindowSize > r.cfg.MaxWindow {
+			r.stats.WindowSize = r.cfg.MaxWindow
+		}
+		r.stats.WindowGrowths++
+	}
+}
+
+// now returns wall-clock time; split out for readability of timing code.
+func now() time.Time { return time.Now() }

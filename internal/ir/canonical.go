@@ -1,0 +1,59 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the canonical, De-Bruijn-index-like representation
+// of task streams from paper §5.2 (Fig. 7). Two task windows are isomorphic
+// — and may share memoized fusion analyses and compiled kernels — exactly
+// when their canonical forms are equal: store identities are replaced by
+// the index of the store's first appearance in the window, while every
+// structural property that the analysis depends on (task names, launch
+// domains, privileges, partition fingerprints, store shapes, and the
+// liveness bits consumed by temporary-store elimination) is kept verbatim.
+
+// StoreFacts lets the caller contribute analysis-relevant per-store facts
+// (e.g. "application still holds a reference") into the canonical form so
+// that memoized decisions are only replayed in equivalent liveness states.
+type StoreFacts func(s *Store) string
+
+// Canonicalize renders the window of tasks into its canonical string form.
+func Canonicalize(window []*Task, facts StoreFacts) string {
+	var b strings.Builder
+	idx := make(map[StoreID]int)
+	for _, t := range window {
+		b.WriteString(t.Name)
+		b.WriteString(t.Launch.String())
+		b.WriteByte('[')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			di, seen := idx[a.Store.ID()]
+			if !seen {
+				di = len(idx)
+				idx[a.Store.ID()] = di
+				// First appearance: record shape and caller facts once.
+				fmt.Fprintf(&b, "%d:new%v", di, a.Store.Shape())
+				if facts != nil {
+					b.WriteByte('{')
+					b.WriteString(facts(a.Store))
+					b.WriteByte('}')
+				}
+			} else {
+				fmt.Fprintf(&b, "%d", di)
+			}
+			b.WriteByte(',')
+			b.WriteString(a.Priv.String())
+			if a.Priv == Reduce {
+				b.WriteString(a.Red.String())
+			}
+			b.WriteByte(',')
+			b.WriteString(a.Part.Fingerprint())
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package ir
+
+// This file implements the point-task dependence definitions of paper §4.1
+// (Definitions 1–3). The fusion engine never calls these — materializing
+// dependence maps scales with the number of processors — but they define
+// the ground truth that the scale-free fusion constraints must be sound
+// against, and the property-based test suite checks the constraints against
+// them on randomized task windows.
+
+// PointDep reports whether point task t2^(p2) depends on point task
+// t1^(p1), where t1 was issued before t2 (Definition 1). A dependence
+// exists if some pair of sub-stores with the same parent intersects and the
+// privilege combination is a true, anti, or reduction dependence.
+func PointDep(t1 *Task, p1 Point, t2 *Task, p2 Point) bool {
+	for _, a1 := range t1.Args {
+		for _, a2 := range t2.Args {
+			if a1.Store != a2.Store {
+				continue
+			}
+			parent := a1.Store.Bounds()
+			s1 := a1.Part.SubRect(p1, parent)
+			s2 := a2.Part.SubRect(p2, parent)
+			if !s1.Overlaps(s2) {
+				continue
+			}
+			if argsConflict(a1, a2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// argsConflict implements the privilege clauses of Definition 1 plus the
+// "both read or both reduce with the same operator" exemption.
+func argsConflict(a1, a2 Arg) bool {
+	// true-dep: W(T1) ∧ (R ∨ W ∨ Rd)(T2)
+	if a1.Priv.Writes() && (a2.Priv.Reads() || a2.Priv.Writes() || a2.Priv.Reduces()) {
+		return true
+	}
+	// anti-dep: R(T1) ∧ (W ∨ Rd)(T2)
+	if a1.Priv.Reads() && (a2.Priv.Writes() || a2.Priv.Reduces()) {
+		return true
+	}
+	// reduction-dep: Rd(T1) ∧ (R ∨ W)(T2); two reductions conflict only
+	// when their operators differ.
+	if a1.Priv.Reduces() {
+		if a2.Priv.Reads() || a2.Priv.Writes() {
+			return true
+		}
+		if a2.Priv.Reduces() && a1.Red != a2.Red {
+			return true
+		}
+	}
+	return false
+}
+
+// DependenceMap materializes D(T1, T2) of Definition 2: for every point p
+// of T1's launch domain, the set of points of T2's launch domain whose
+// point task depends on T1^p. Exponential in machine size by design; tests
+// only.
+func DependenceMap(t1, t2 *Task) map[string][]Point {
+	m := make(map[string][]Point)
+	t1.Launch.Each(func(p1 Point) {
+		var deps []Point
+		t2.Launch.Each(func(p2 Point) {
+			if PointDep(t1, p1, t2, p2) {
+				deps = append(deps, p2)
+			}
+		})
+		m[p1.String()] = deps
+	})
+	return m
+}
+
+// PointwiseFusible reports Definition 3 directly: T1 and T2 are fusible iff
+// for all p, D(T1,T2)[p] ⊆ {p}. Used by tests to validate the scale-free
+// constraints in internal/core.
+func PointwiseFusible(t1, t2 *Task) bool {
+	if !t1.Launch.Equal(t2.Launch) {
+		return false
+	}
+	ok := true
+	t1.Launch.Each(func(p1 Point) {
+		if !ok {
+			return
+		}
+		t2.Launch.Each(func(p2 Point) {
+			if !ok || p1.Equal(p2) {
+				return
+			}
+			if PointDep(t1, p1, t2, p2) {
+				ok = false
+			}
+		})
+	})
+	return ok
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// StoreID uniquely identifies a store within a Factory.
+type StoreID int64
+
+// Store is a distributed array in Diffuse's data model (paper §3.1). A store
+// has a unique ID and a rectangular shape; it is partitioned across the
+// machine into sub-stores by Partition objects. The store itself carries no
+// data — data lives in the underlying runtime's regions (internal/legion).
+//
+// Stores carry the split reference-counting scheme of paper §5.1: references
+// held by the application (library handles such as cunum.Array) are counted
+// separately from references held by the runtime (pending tasks in the
+// window or in flight). A store with zero application references can no
+// longer be named by future tasks, which is one of the three conditions for
+// temporary-store elimination (Definition 4).
+type Store struct {
+	id    StoreID
+	shape []int
+	name  string
+
+	appRefs atomic.Int64 // references held by the application / libraries
+	runRefs atomic.Int64 // references held by the runtime (pending tasks)
+}
+
+// Factory allocates stores with unique IDs. It is the single source of
+// store identity for one Diffuse runtime instance.
+type Factory struct {
+	next atomic.Int64
+}
+
+// NewStore creates a store of the given shape with one application
+// reference (held by the caller). name is used only for debugging output.
+func (f *Factory) NewStore(name string, shape []int) *Store {
+	s := &Store{
+		id:    StoreID(f.next.Add(1)),
+		shape: append([]int(nil), shape...),
+		name:  name,
+	}
+	s.appRefs.Store(1)
+	return s
+}
+
+// ID returns the store's unique identifier.
+func (s *Store) ID() StoreID { return s.id }
+
+// Name returns the debug name given at creation.
+func (s *Store) Name() string { return s.name }
+
+// Shape returns the extents of the store. The returned slice must not be
+// modified.
+func (s *Store) Shape() []int { return s.shape }
+
+// Rank returns the dimensionality of the store.
+func (s *Store) Rank() int { return len(s.shape) }
+
+// Bounds returns the rectangle [0, shape).
+func (s *Store) Bounds() Rect { return RectFromShape(s.shape) }
+
+// Size returns the total number of elements.
+func (s *Store) Size() int {
+	n := 1
+	for _, e := range s.shape {
+		n *= e
+	}
+	return n
+}
+
+// Strides returns the row-major element strides of the store's canonical
+// layout.
+func (s *Store) Strides() []int {
+	st := make([]int, len(s.shape))
+	acc := 1
+	for d := len(s.shape) - 1; d >= 0; d-- {
+		st[d] = acc
+		acc *= s.shape[d]
+	}
+	return st
+}
+
+// RetainApp adds an application reference.
+func (s *Store) RetainApp() { s.appRefs.Add(1) }
+
+// ReleaseApp drops an application reference and reports whether any
+// application references remain.
+func (s *Store) ReleaseApp() (live bool) {
+	n := s.appRefs.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("ir: store %d app refcount underflow", s.id))
+	}
+	return n > 0
+}
+
+// AppLive reports whether the application still holds references to the
+// store (Definition 4, condition 3).
+func (s *Store) AppLive() bool { return s.appRefs.Load() > 0 }
+
+// RetainRuntime adds a runtime reference (a pending task argument).
+func (s *Store) RetainRuntime() { s.runRefs.Add(1) }
+
+// ReleaseRuntime drops a runtime reference.
+func (s *Store) ReleaseRuntime() {
+	if s.runRefs.Add(-1) < 0 {
+		panic(fmt.Sprintf("ir: store %d runtime refcount underflow", s.id))
+	}
+}
+
+// RuntimeRefs returns the current number of runtime references.
+func (s *Store) RuntimeRefs() int64 { return s.runRefs.Load() }
+
+// Dead reports whether neither the application nor the runtime reference
+// the store, i.e. its region may be reclaimed.
+func (s *Store) Dead() bool {
+	return s.appRefs.Load() == 0 && s.runRefs.Load() == 0
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("Store(%d %q %v)", s.id, s.name, s.shape)
+}

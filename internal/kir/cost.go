@@ -1,0 +1,79 @@
+package kir
+
+// Cost metadata consumed by the machine model (internal/machine). The cost
+// of a point task is dominated by the memory traffic of its loops (GPU
+// kernels in the paper's setting are bandwidth-bound), plus per-loop kernel
+// launch overhead. Fusion pays off in exactly these terms: merged loops
+// touch each operand once, scalarized temporaries cost nothing, and one
+// fused task launches one kernel instead of many.
+
+// CostStats summarizes the per-point-task execution cost of a kernel.
+type CostStats struct {
+	// Bytes is the memory traffic of one point task.
+	Bytes float64
+	// Flops is the floating-point work of one point task.
+	Flops float64
+	// Launches is the number of device kernel launches (one per loop).
+	Launches int
+}
+
+// SpMVStats supplies per-point CSR statistics for cost estimation; the
+// fusion analysis never needs these, only the machine model does.
+type SpMVStats func(payloadKey int) (rows, nnz float64)
+
+// Cost estimates the per-point cost of the compiled kernel. ext overrides,
+// when non-nil, give the runtime per-point extents per loop (defaults to
+// the static Loop.Ext).
+func (c *Compiled) Cost(spmv SpMVStats) CostStats {
+	var cs CostStats
+	for i, cl := range c.loops {
+		l := c.Kernel.Loops[i]
+		cs.Launches++
+		switch cl.kind {
+		case LoopElem:
+			elems := float64(extTotal(l.Ext))
+			// Each iterated parameter is streamed once per element; local
+			// parameters that were scalarized never appear as slots. Count
+			// unique slots (loads and stores share slots).
+			cs.Bytes += elems * 8 * float64(len(cl.iter))
+			arith := 0
+			scalarLoads := 0
+			for _, in := range cl.body {
+				switch in.Op {
+				case OpConst, OpLoad, opStoreElem, opReduceAcc:
+				case OpLoadScalar:
+					scalarLoads++
+				default:
+					arith++
+				}
+			}
+			cs.Bytes += float64(scalarLoads) * 8
+			cs.Flops += elems * float64(arith)
+		case LoopGEMV:
+			rows := float64(l.Ext[0])
+			cols := float64(l.Ext[1])
+			cs.Bytes += rows*cols*8 + cols*8 + rows*8
+			cs.Flops += 2 * rows * cols
+		case LoopSpMV:
+			if spmv == nil {
+				panic("kir: SpMV cost requested without stats")
+			}
+			rows, nnz := spmv(cl.payloadKey)
+			// vals 8B + cols 4B per nnz, rowptr 4B + y 8B per row, and the
+			// gathered x accesses (cache-unfriendly, charged at 8B each).
+			cs.Bytes += nnz*(8+4+8) + rows*(4+8)
+			cs.Flops += 2 * nnz
+		case LoopRandom, LoopIota:
+			elems := float64(extTotal(l.Ext))
+			cs.Bytes += elems * 8
+			cs.Flops += elems * 4
+		case LoopAxisReduce:
+			elems := float64(extTotal(l.Ext))
+			rank := len(l.Ext)
+			outElems := elems / float64(l.Ext[rank-1])
+			cs.Bytes += elems*8 + outElems*8
+			cs.Flops += elems
+		}
+	}
+	return cs
+}

@@ -1,0 +1,417 @@
+package kir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accessor addresses the local view of one kernel parameter inside a
+// backing buffer: element (i0,...,ik) of the view lives at
+// Data[Base + Σ i_d * Strides[d]].
+type Accessor struct {
+	Data    []float64
+	Base    int
+	Strides []int
+}
+
+// Binding is the per-point-task binding of one kernel parameter: its
+// accessor plus the runtime local extents of the view (the clipped tile).
+// Local (temporary-eliminated) parameters have a nil Data; the evaluator
+// allocates task-local buffers for those that need them.
+type Binding struct {
+	Acc Accessor
+	Ext []int
+	// global preserves the distributed-coordinate accessor of local
+	// (temporary-eliminated) parameters whose Acc was rebound to a
+	// task-local buffer; generator loops (Random, Iota) that derive
+	// values from global coordinates read it. Zero-valued when Acc is
+	// already global.
+	global    Accessor
+	hasGlobal bool
+}
+
+// CSRLocal is the local rows of a CSR matrix owned by one point task.
+// Column indices are global (they index the full dense vector parameter).
+// 32-bit indices mirror the paper's §7 methodology (both Legate Sparse and
+// PETSc store coordinates as 32-bit integers).
+type CSRLocal struct {
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSRLocal) NNZ() int { return len(c.Col) }
+
+// Rows returns the number of local rows.
+func (c *CSRLocal) Rows() int { return len(c.RowPtr) - 1 }
+
+// PointArgs carries everything one point task needs to execute a compiled
+// kernel.
+type PointArgs struct {
+	Bind []Binding
+	// Payloads maps payload keys (Loop.PayloadKey) to the point-local CSR
+	// structure for LoopSpMV loops.
+	Payloads map[int]*CSRLocal
+	// Scratch, if non-nil, is reused across executions to hold registers
+	// and odometer state, avoiding per-task allocation.
+	Scratch *Scratch
+}
+
+// Scratch holds reusable evaluator state.
+type Scratch struct {
+	regs   []float64
+	cur    []int
+	idx    []int
+	racc   []float64
+	locals map[int][]float64
+}
+
+// NewScratch allocates evaluator scratch state.
+func NewScratch() *Scratch {
+	return &Scratch{locals: map[int][]float64{}}
+}
+
+func (s *Scratch) grow(nregs, nslots, ndims, nred int) {
+	if cap(s.regs) < nregs {
+		s.regs = make([]float64, nregs)
+	}
+	s.regs = s.regs[:cap(s.regs)]
+	if cap(s.cur) < nslots {
+		s.cur = make([]int, nslots)
+	}
+	s.cur = s.cur[:cap(s.cur)]
+	if cap(s.idx) < ndims {
+		s.idx = make([]int, ndims)
+	}
+	s.idx = s.idx[:cap(s.idx)]
+	if cap(s.racc) < nred {
+		s.racc = make([]float64, nred)
+	}
+	s.racc = s.racc[:cap(s.racc)]
+}
+
+// Execute runs the compiled kernel for one point task. Reduction
+// destinations must be bound to cells pre-initialized to the reduction
+// identity; Execute combines its partial results into them.
+func (c *Compiled) Execute(pa *PointArgs) {
+	if pa.Scratch == nil {
+		pa.Scratch = NewScratch()
+	}
+	// Allocate task-local buffers for locals that survived scalarization
+	// (the memref.alloc of Fig. 8c).
+	for _, p := range c.bufLocals {
+		if pa.Bind[p].Acc.Data != nil {
+			continue
+		}
+		ext := pa.Bind[p].Ext
+		n := 1
+		for _, e := range ext {
+			n *= e
+		}
+		buf, ok := pa.Scratch.locals[p]
+		if !ok || len(buf) < n {
+			buf = make([]float64, n)
+			pa.Scratch.locals[p] = buf
+		}
+		strides := make([]int, len(ext))
+		acc := 1
+		for d := len(ext) - 1; d >= 0; d-- {
+			strides[d] = acc
+			acc *= ext[d]
+		}
+		pa.Bind[p].global = pa.Bind[p].Acc
+		pa.Bind[p].hasGlobal = true
+		pa.Bind[p].Acc = Accessor{Data: buf, Strides: strides}
+	}
+	for i := range c.loops {
+		l := &c.loops[i]
+		switch l.kind {
+		case LoopElem:
+			c.execElem(l, pa)
+		case LoopSpMV:
+			c.execSpMV(l, pa)
+		case LoopGEMV:
+			c.execGEMV(l, pa)
+		case LoopRandom:
+			c.execRandom(l, pa)
+		case LoopIota:
+			c.execIota(l, pa)
+		case LoopAxisReduce:
+			c.execAxisReduce(l, pa)
+		default:
+			panic(fmt.Sprintf("kir: unknown loop kind %d", l.kind))
+		}
+	}
+}
+
+func extTotal(ext []int) int {
+	n := 1
+	for _, e := range ext {
+		n *= e
+	}
+	return n
+}
+
+func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
+	ext := pa.Bind[l.extRef].Ext
+	total := extTotal(ext)
+	if total == 0 {
+		return
+	}
+	rank := len(ext)
+	sc := pa.Scratch
+	sc.grow(l.nregs, len(l.iter), rank, len(l.reduces))
+	regs := sc.regs
+	cur := sc.cur[:len(l.iter)]
+	idx := sc.idx[:rank]
+	for d := range idx {
+		idx[d] = 0
+	}
+	// Per-slot accessor state.
+	type slotState struct {
+		data    []float64
+		strides []int
+	}
+	states := make([]slotState, len(l.iter))
+	for s, ip := range l.iter {
+		b := &pa.Bind[ip.param]
+		states[s] = slotState{data: b.Acc.Data, strides: b.Acc.Strides}
+		cur[s] = b.Acc.Base
+	}
+	racc := sc.racc[:len(l.reduces)]
+	for r := range l.reduces {
+		racc[r] = l.reduces[r].red.Identity()
+	}
+	body := l.body
+	for e := 0; e < total; e++ {
+		for i := range body {
+			in := &body[i]
+			switch in.Op {
+			case OpConst:
+				regs[in.Dst] = in.Imm
+			case OpLoad:
+				regs[in.Dst] = states[in.Slot].data[cur[in.Slot]]
+			case OpLoadScalar:
+				b := &pa.Bind[in.Slot]
+				regs[in.Dst] = b.Acc.Data[b.Acc.Base]
+			case OpAdd:
+				regs[in.Dst] = regs[in.A] + regs[in.B]
+			case OpSub:
+				regs[in.Dst] = regs[in.A] - regs[in.B]
+			case OpMul:
+				regs[in.Dst] = regs[in.A] * regs[in.B]
+			case OpDiv:
+				regs[in.Dst] = regs[in.A] / regs[in.B]
+			case OpNeg:
+				regs[in.Dst] = -regs[in.A]
+			case OpAbs:
+				regs[in.Dst] = math.Abs(regs[in.A])
+			case OpSqrt:
+				regs[in.Dst] = math.Sqrt(regs[in.A])
+			case OpExp:
+				regs[in.Dst] = math.Exp(regs[in.A])
+			case OpLog:
+				regs[in.Dst] = math.Log(regs[in.A])
+			case OpErf:
+				regs[in.Dst] = math.Erf(regs[in.A])
+			case OpPow:
+				regs[in.Dst] = math.Pow(regs[in.A], regs[in.B])
+			case OpMax:
+				regs[in.Dst] = math.Max(regs[in.A], regs[in.B])
+			case OpMin:
+				regs[in.Dst] = math.Min(regs[in.A], regs[in.B])
+			case OpSin:
+				regs[in.Dst] = math.Sin(regs[in.A])
+			case OpCos:
+				regs[in.Dst] = math.Cos(regs[in.A])
+			case OpGE:
+				if regs[in.A] >= regs[in.B] {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case OpLE:
+				if regs[in.A] <= regs[in.B] {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case OpSel:
+				if regs[in.A] != 0 {
+					regs[in.Dst] = regs[in.B]
+				} else {
+					regs[in.Dst] = regs[in.C]
+				}
+			case opStoreElem:
+				states[in.Slot].data[cur[in.Slot]] = regs[in.A]
+			case opReduceAcc:
+				racc[in.Slot] = l.reduces[in.Slot].red.Combine(racc[in.Slot], regs[in.A])
+			default:
+				panic(fmt.Sprintf("kir: unknown op %d", in.Op))
+			}
+		}
+		// Advance the odometer.
+		for d := rank - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < ext[d] {
+				for s := range states {
+					cur[s] += states[s].strides[d]
+				}
+				break
+			}
+			idx[d] = 0
+			for s := range states {
+				cur[s] -= states[s].strides[d] * (ext[d] - 1)
+			}
+		}
+	}
+	// Fold partials into the reduction cells.
+	for r := range l.reduces {
+		rs := &l.reduces[r]
+		b := &pa.Bind[rs.param]
+		b.Acc.Data[b.Acc.Base] = rs.red.Combine(b.Acc.Data[b.Acc.Base], racc[r])
+	}
+}
+
+func (c *Compiled) execSpMV(l *compiledLoop, pa *PointArgs) {
+	csr := pa.Payloads[l.payloadKey]
+	if csr == nil {
+		panic(fmt.Sprintf("kir: missing CSR payload %d", l.payloadKey))
+	}
+	y := pa.Bind[l.y].Acc
+	x := pa.Bind[l.x].Acc
+	ystride := 1
+	if len(y.Strides) > 0 {
+		ystride = y.Strides[0]
+	}
+	xstride := 1
+	if len(x.Strides) > 0 {
+		xstride = x.Strides[0]
+	}
+	rows := csr.Rows()
+	for i := 0; i < rows; i++ {
+		sum := 0.0
+		for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
+			sum += csr.Val[k] * x.Data[x.Base+int(csr.Col[k])*xstride]
+		}
+		y.Data[y.Base+i*ystride] = sum
+	}
+}
+
+func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
+	a := pa.Bind[l.matA]
+	x := pa.Bind[l.x].Acc
+	y := pa.Bind[l.y].Acc
+	rows, cols := a.Ext[0], a.Ext[1]
+	ystride := 1
+	if len(y.Strides) > 0 {
+		ystride = y.Strides[0]
+	}
+	xstride := 1
+	if len(x.Strides) > 0 {
+		xstride = x.Strides[0]
+	}
+	for i := 0; i < rows; i++ {
+		base := a.Acc.Base + i*a.Acc.Strides[0]
+		sum := 0.0
+		for j := 0; j < cols; j++ {
+			sum += a.Acc.Data[base+j*a.Acc.Strides[1]] * x.Data[x.Base+j*xstride]
+		}
+		y.Data[y.Base+i*ystride] = sum
+	}
+}
+
+// execGenerator walks the destination writing fn(globalOffset): the
+// coordinate-derived fills (Random, Iota) must be independent of the
+// processor decomposition and of whether the destination was demoted to a
+// task-local buffer, so the value is keyed by the element's offset in the
+// distributed parent store even when writing locally.
+func execGenerator(b *Binding, fn func(globalOffset int) float64) {
+	ext := b.Ext
+	total := extTotal(ext)
+	if total == 0 {
+		return
+	}
+	gacc := b.Acc
+	if b.hasGlobal {
+		gacc = b.global
+	}
+	rank := len(ext)
+	idx := make([]int, rank)
+	cur := b.Acc.Base
+	gcur := gacc.Base
+	for e := 0; e < total; e++ {
+		b.Acc.Data[cur] = fn(gcur)
+		for d := rank - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < ext[d] {
+				cur += b.Acc.Strides[d]
+				gcur += gacc.Strides[d]
+				break
+			}
+			idx[d] = 0
+			cur -= b.Acc.Strides[d] * (ext[d] - 1)
+			gcur -= gacc.Strides[d] * (ext[d] - 1)
+		}
+	}
+}
+
+// execRandom fills the destination with deterministic pseudo-random values
+// in [0,1) derived from the seed and the element's global offset.
+func (c *Compiled) execRandom(l *compiledLoop, pa *PointArgs) {
+	seed := l.seed
+	execGenerator(&pa.Bind[l.extRef], func(g int) float64 {
+		return splitmix(seed + uint64(g))
+	})
+}
+
+// execIota fills the destination with each element's flat parent offset
+// (NumPy arange over whole arrays).
+func (c *Compiled) execIota(l *compiledLoop, pa *PointArgs) {
+	execGenerator(&pa.Bind[l.extRef], func(g int) float64 {
+		return float64(g)
+	})
+}
+
+// execAxisReduce folds the last axis of the input into the output.
+func (c *Compiled) execAxisReduce(l *compiledLoop, pa *PointArgs) {
+	in := pa.Bind[l.x]
+	out := pa.Bind[l.y]
+	rank := len(in.Ext)
+	last := in.Ext[rank-1]
+	outTotal := extTotal(in.Ext[:rank-1])
+	idx := make([]int, rank-1)
+	curIn := in.Acc.Base
+	curOut := out.Acc.Base
+	innerStride := in.Acc.Strides[rank-1]
+	for e := 0; e < outTotal; e++ {
+		acc := l.red.Identity()
+		off := curIn
+		for j := 0; j < last; j++ {
+			acc = l.red.Combine(acc, in.Acc.Data[off])
+			off += innerStride
+		}
+		out.Acc.Data[curOut] = acc
+		for d := rank - 2; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < in.Ext[d] {
+				curIn += in.Acc.Strides[d]
+				curOut += out.Acc.Strides[d]
+				break
+			}
+			idx[d] = 0
+			curIn -= in.Acc.Strides[d] * (in.Ext[d] - 1)
+			curOut -= out.Acc.Strides[d] * (in.Ext[d] - 1)
+		}
+	}
+}
+
+// splitmix maps a 64-bit key to a float64 in [0,1) (splitmix64 finalizer).
+func splitmix(z uint64) float64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,343 @@
+// Package kir is Diffuse's kernel intermediate representation and JIT
+// compiler — the substitute for the paper's MLIR stack (§6). Library
+// operations register generator functions that describe task bodies as
+// kernels: sequences of loop nests (element-wise loops, dense and CSR
+// matrix-vector loops, reductions) over kernel parameters that correspond
+// one-to-one to the task's store arguments.
+//
+// The compilation pipeline mirrors Fig. 8 of the paper:
+//
+//  1. the fusion engine composes the kernels of a fused task prefix in
+//     program order (Concat),
+//  2. distributed temporaries eliminated by the store analysis are demoted
+//     to task-local parameters (MarkLocal),
+//  3. FuseLoops merges element-wise loops with identical iteration domains,
+//  4. Scalarize forwards values stored to local temporaries within a fused
+//     loop, removing dead stores and, when possible, the local allocation
+//     itself,
+//  5. Compile lowers the kernel to a compact register program executed by
+//     the evaluator in exec.go (the "generated code").
+//
+// kir is deliberately independent of the ir package: kernels reference
+// their parameters by index only.
+package kir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op enumerates scalar expression operators.
+type Op uint8
+
+// Expression operators. OpLoad reads the current element of a parameter;
+// OpLoadScalar reads element 0 of a (size-1) parameter and is hoisted out
+// of loops by the compiler.
+const (
+	OpConst Op = iota
+	OpLoad
+	OpLoadScalar
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	OpAbs
+	OpSqrt
+	OpExp
+	OpLog
+	OpErf
+	OpPow
+	OpMax
+	OpMin
+	OpSin
+	OpCos
+	OpGE  // a >= b ? 1 : 0
+	OpLE  // a <= b ? 1 : 0
+	OpSel // a != 0 ? b : c
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpLoad: "load", OpLoadScalar: "loads",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpNeg: "neg", OpAbs: "abs", OpSqrt: "sqrt", OpExp: "exp",
+	OpLog: "log", OpErf: "erf", OpPow: "pow", OpMax: "max",
+	OpMin: "min", OpSin: "sin", OpCos: "cos", OpGE: "ge", OpLE: "le",
+	OpSel: "sel",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Arity returns the number of expression operands of the operator.
+func (o Op) Arity() int {
+	switch o {
+	case OpConst, OpLoad, OpLoadScalar:
+		return 0
+	case OpNeg, OpAbs, OpSqrt, OpExp, OpLog, OpErf, OpSin, OpCos:
+		return 1
+	case OpSel:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Expr is a scalar expression tree evaluated per element of a loop.
+// Sub-expressions may be shared (DAG); the compiler evaluates shared nodes
+// once.
+type Expr struct {
+	Op      Op
+	A, B, C *Expr
+	Param   int     // parameter index for OpLoad / OpLoadScalar
+	Imm     float64 // immediate for OpConst
+}
+
+// Const returns a constant expression.
+func Const(v float64) *Expr { return &Expr{Op: OpConst, Imm: v} }
+
+// Load returns an expression reading the current element of parameter p.
+func Load(p int) *Expr { return &Expr{Op: OpLoad, Param: p} }
+
+// LoadScalar returns an expression reading element 0 of parameter p.
+func LoadScalar(p int) *Expr { return &Expr{Op: OpLoadScalar, Param: p} }
+
+// Unary builds a unary expression.
+func Unary(op Op, a *Expr) *Expr { return &Expr{Op: op, A: a} }
+
+// Binary builds a binary expression.
+func Binary(op Op, a, b *Expr) *Expr { return &Expr{Op: op, A: a, B: b} }
+
+// Select builds a ternary select: cond != 0 ? a : b.
+func Select(cond, a, b *Expr) *Expr { return &Expr{Op: OpSel, A: cond, B: a, C: b} }
+
+// RedOp is a reduction combiner.
+type RedOp uint8
+
+// Reduction combiners.
+const (
+	RedSum RedOp = iota
+	RedMax
+	RedMin
+)
+
+// Identity returns the identity element of the combiner.
+func (r RedOp) Identity() float64 {
+	switch r {
+	case RedMax:
+		return negInf
+	case RedMin:
+		return posInf
+	default:
+		return 0
+	}
+}
+
+// Combine applies the combiner.
+func (r RedOp) Combine(a, b float64) float64 {
+	switch r {
+	case RedMax:
+		if a > b {
+			return a
+		}
+		return b
+	case RedMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// StmtKind distinguishes stores from reductions.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	KStore  StmtKind = iota // param[elem] = expr
+	KReduce                 // reduce-accumulate expr into param (a scalar)
+	// KEval evaluates the expression for its value only. Scalarization
+	// replaces eliminated stores to forwarded locals with KEval so the
+	// value is still computed at its original program point — consumers
+	// that were forwarded the same expression node reuse its register,
+	// which pins the value before any later mutation of its inputs.
+	KEval
+)
+
+// Stmt is one statement of an element-wise loop body.
+type Stmt struct {
+	Kind  StmtKind
+	Param int // destination parameter
+	E     *Expr
+	Red   RedOp // for KReduce
+}
+
+// LoopKind enumerates loop-nest shapes.
+type LoopKind uint8
+
+// Loop kinds. LoopElem is a dense element-wise loop over the local view
+// rectangle; LoopSpMV and LoopGEMV are matrix-vector loops; LoopRandom
+// fills a parameter with deterministic pseudo-random values.
+const (
+	LoopElem LoopKind = iota
+	LoopSpMV
+	LoopGEMV
+	LoopRandom
+	// LoopIota fills the destination with its global linear element index
+	// (NumPy arange); Imm-style scaling is applied by follow-on
+	// element-wise ops.
+	LoopIota
+	// LoopAxisReduce folds the last axis of a rank-(n) input into a
+	// rank-(n-1) output with the reduction Red (NumPy sum(axis=-1) etc.).
+	LoopAxisReduce
+)
+
+// Loop is a single loop nest of a kernel.
+type Loop struct {
+	Kind LoopKind
+
+	// Dom is the iteration-domain signature; two element-wise loops are
+	// mergeable iff their Dom strings are equal (same logical view shape
+	// and tiling, hence identical per-point extents).
+	Dom string
+	// Ext is the static per-point iteration extent (the tile shape),
+	// used by the cost model.
+	Ext []int
+	// ExtRef is the parameter whose runtime local extents define the
+	// iteration bounds of this loop.
+	ExtRef int
+
+	// Stmts is the body for LoopElem.
+	Stmts []Stmt
+
+	// Matrix-vector fields (LoopSpMV / LoopGEMV): Y = A. X, where A is the
+	// CSR payload (SpMV) or parameter MatA (GEMV). LoopAxisReduce folds
+	// parameter X into parameter Y.
+	Y, X, MatA int
+
+	// Red is the combiner for LoopAxisReduce.
+	Red RedOp
+
+	// Seed for LoopRandom; the destination is ExtRef.
+	Seed uint64
+
+	// PayloadKey selects the per-point payload (e.g. the CSR structure of
+	// a LoopSpMV) out of the executing task's payload map. Payload keys
+	// are assigned by the issuing library and survive fusion.
+	PayloadKey int
+}
+
+// Clone returns a deep-enough copy of the loop (statements copied;
+// expression trees shared, which is safe because passes never mutate
+// expressions in place).
+func (l *Loop) Clone() *Loop {
+	c := *l
+	c.Ext = append([]int(nil), l.Ext...)
+	c.Stmts = append([]Stmt(nil), l.Stmts...)
+	return &c
+}
+
+// Kernel is a task body: a parameter list (implied by count) and a
+// sequence of loops.
+type Kernel struct {
+	Name    string
+	NParams int
+	Loops   []*Loop
+	// Local[i] reports that parameter i has been demoted from a
+	// distributed store to a task-local allocation by temporary-store
+	// elimination. Locals may be scalarized away entirely by the compiler.
+	Local []bool
+}
+
+// NewKernel allocates a kernel with the given parameter count.
+func NewKernel(name string, nparams int) *Kernel {
+	return &Kernel{Name: name, NParams: nparams, Local: make([]bool, nparams)}
+}
+
+// AddLoop appends a loop to the kernel.
+func (k *Kernel) AddLoop(l *Loop) *Kernel {
+	k.Loops = append(k.Loops, l)
+	return k
+}
+
+// Clone deep-copies the kernel (loops cloned, expressions shared).
+func (k *Kernel) Clone() *Kernel {
+	c := &Kernel{Name: k.Name, NParams: k.NParams}
+	c.Local = append([]bool(nil), k.Local...)
+	for _, l := range k.Loops {
+		c.Loops = append(c.Loops, l.Clone())
+	}
+	return c
+}
+
+// Remap returns a copy of the kernel with every parameter index i replaced
+// by mapping[i]. nparams is the parameter count of the resulting kernel.
+func (k *Kernel) Remap(mapping []int, nparams int) *Kernel {
+	c := &Kernel{Name: k.Name, NParams: nparams, Local: make([]bool, nparams)}
+	for _, l := range k.Loops {
+		nl := l.Clone()
+		nl.ExtRef = mapping[l.ExtRef]
+		if l.Kind == LoopSpMV || l.Kind == LoopGEMV || l.Kind == LoopAxisReduce {
+			nl.Y = mapping[l.Y]
+			nl.X = mapping[l.X]
+			if l.Kind == LoopGEMV {
+				nl.MatA = mapping[l.MatA]
+			}
+		}
+		for i := range nl.Stmts {
+			nl.Stmts[i].Param = mapping[nl.Stmts[i].Param]
+			nl.Stmts[i].E = remapExpr(nl.Stmts[i].E, mapping, map[*Expr]*Expr{})
+		}
+		c.Loops = append(c.Loops, nl)
+	}
+	return c
+}
+
+func remapExpr(e *Expr, mapping []int, memo map[*Expr]*Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	n := *e
+	if e.Op == OpLoad || e.Op == OpLoadScalar {
+		n.Param = mapping[e.Param]
+	}
+	n.A = remapExpr(e.A, mapping, memo)
+	n.B = remapExpr(e.B, mapping, memo)
+	n.C = remapExpr(e.C, mapping, memo)
+	memo[e] = &n
+	return &n
+}
+
+// Concat composes kernels in program order into a single kernel, applying
+// the per-kernel parameter mappings. This is stage 1 of the fused-task
+// compilation pipeline (Fig. 8b).
+func Concat(name string, nparams int, kernels []*Kernel, mappings [][]int) *Kernel {
+	out := NewKernel(name, nparams)
+	for i, k := range kernels {
+		rk := k.Remap(mappings[i], nparams)
+		out.Loops = append(out.Loops, rk.Loops...)
+	}
+	return out
+}
+
+// MarkLocal demotes parameter p to a task-local allocation (Fig. 8c).
+func (k *Kernel) MarkLocal(p int) { k.Local[p] = true }
+
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(%d params)\n", k.Name, k.NParams)
+	for i, l := range k.Loops {
+		fmt.Fprintf(&b, "  loop %d kind=%d dom=%q stmts=%d\n", i, l.Kind, l.Dom, len(l.Stmts))
+	}
+	return b.String()
+}
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)

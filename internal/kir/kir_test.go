@@ -1,0 +1,342 @@
+package kir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// binding over a flat rank-1 buffer.
+func flat(data []float64, n int) Binding {
+	return Binding{Acc: Accessor{Data: data, Strides: []int{1}}, Ext: []int{n}}
+}
+
+// addKernel returns the element-wise c = a + b kernel of Fig. 8a.
+func addKernel() *Kernel {
+	k := NewKernel("add", 3)
+	k.AddLoop(&Loop{
+		Kind: LoopElem, Dom: "v", Ext: []int{8}, ExtRef: 2,
+		Stmts: []Stmt{{Kind: KStore, Param: 2, E: Binary(OpAdd, Load(0), Load(1))}},
+	})
+	return k
+}
+
+// TestFig8Pipeline walks the exact compilation pipeline of Fig. 8:
+// two adds composed (8b), temporary demoted (8c), loops fused and the
+// temporary scalarized away (8d).
+func TestFig8Pipeline(t *testing.T) {
+	// c = a + b ; e = c + d. Fused parameters: a,b,c,d,e = 0..4.
+	fused := Concat("fused", 5, []*Kernel{addKernel(), addKernel()}, [][]int{
+		{0, 1, 2},
+		{2, 3, 4},
+	})
+	if len(fused.Loops) != 2 {
+		t.Fatalf("composition should have 2 loops, got %d", len(fused.Loops))
+	}
+	fused.MarkLocal(2)
+	opt := Optimize(fused, nil)
+	if len(opt.Loops) != 1 {
+		t.Fatalf("loop fusion should merge to 1 loop, got %d", len(opt.Loops))
+	}
+	stores := 0
+	for _, s := range opt.Loops[0].Stmts {
+		if s.Kind == KStore {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Fatalf("only the store to e should remain; stores = %d", stores)
+	}
+	if n := len(BufferLocals(opt)); n != 0 {
+		t.Fatalf("no local buffers should remain, got %d", n)
+	}
+
+	comp := Compile(opt)
+	n := 8
+	a := seq(n, 1)
+	bb := seq(n, 10)
+	d := seq(n, 100)
+	e := make([]float64, n)
+	pa := &PointArgs{Bind: []Binding{flat(a, n), flat(bb, n), {Ext: []int{n}}, flat(d, n), flat(e, n)}}
+	comp.Execute(pa)
+	for i := 0; i < n; i++ {
+		want := a[i] + bb[i] + d[i]
+		if e[i] != want {
+			t.Fatalf("e[%d] = %g, want %g", i, e[i], want)
+		}
+	}
+}
+
+func seq(n int, base float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = base + float64(i)
+	}
+	return v
+}
+
+// TestStatementOrdering checks that later statements in a merged loop see
+// earlier stores within the same element.
+func TestStatementOrdering(t *testing.T) {
+	k := NewKernel("k", 2)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{4}, ExtRef: 0,
+		Stmts: []Stmt{
+			{Kind: KStore, Param: 0, E: Const(3)},
+			{Kind: KStore, Param: 1, E: Binary(OpMul, Load(0), Const(2))},
+			{Kind: KStore, Param: 0, E: Binary(OpAdd, Load(1), Const(1))},
+		}})
+	comp := Compile(k)
+	x := make([]float64, 4)
+	y := make([]float64, 4)
+	comp.Execute(&PointArgs{Bind: []Binding{flat(x, 4), flat(y, 4)}})
+	for i := range x {
+		if y[i] != 6 || x[i] != 7 {
+			t.Fatalf("ordering broken: x=%g y=%g", x[i], y[i])
+		}
+	}
+}
+
+// TestBufferLocal checks cross-loop temporaries get task-local buffers.
+func TestBufferLocal(t *testing.T) {
+	// loop1 (domain A): t = a*2 ; loop2 (domain A, not mergeable because a
+	// random loop sits between): out = t + 1.
+	k := NewKernel("k", 3) // a, t, out
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{4}, ExtRef: 1,
+		Stmts: []Stmt{{Kind: KStore, Param: 1, E: Binary(OpMul, Load(0), Const(2))}}})
+	k.AddLoop(&Loop{Kind: LoopRandom, Dom: "r", Ext: []int{4}, ExtRef: 0, Seed: 9})
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{4}, ExtRef: 2,
+		Stmts: []Stmt{{Kind: KStore, Param: 2, E: Binary(OpAdd, Load(1), Const(1))}}})
+	k.MarkLocal(1)
+	opt := Optimize(k, nil)
+	if len(BufferLocals(opt)) != 1 {
+		t.Fatalf("temp used across loops needs a buffer: %v", BufferLocals(opt))
+	}
+	comp := Compile(opt)
+	a := seq(4, 5)
+	out := make([]float64, 4)
+	comp.Execute(&PointArgs{Bind: []Binding{flat(a, 4), {Ext: []int{4}}, flat(out, 4)}})
+	// a was overwritten by the random loop AFTER t was computed.
+	for i := range out {
+		if out[i] != (5+float64(i))*2+1 {
+			t.Fatalf("out[%d] = %g", i, out[i])
+		}
+	}
+}
+
+// TestAliasGuardBlocksMerge checks that aliasing parameters prevent loop
+// merging (the single-GPU fusion case).
+func TestAliasGuardBlocksMerge(t *testing.T) {
+	// loop1 writes param 0; loop2 reads param 1 which aliases param 0.
+	k := NewKernel("k", 3)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{4}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 0, E: Const(1)}}})
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{4}, ExtRef: 2,
+		Stmts: []Stmt{{Kind: KStore, Param: 2, E: Load(1)}}})
+	alias := func(p, q int) bool { return (p == 0 && q == 1) || (p == 1 && q == 0) }
+	merged := FuseLoops(k, alias)
+	if len(merged.Loops) != 2 {
+		t.Fatalf("aliasing write/read loops must not merge, got %d", len(merged.Loops))
+	}
+	if len(FuseLoops(k, nil).Loops) != 1 {
+		t.Fatal("without aliasing the loops merge")
+	}
+}
+
+// TestReduction checks reductions accumulate into bound cells.
+func TestReduction(t *testing.T) {
+	k := NewKernel("dot", 3)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{6}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KReduce, Param: 2, E: Binary(OpMul, Load(0), Load(1)), Red: RedSum}}})
+	comp := Compile(k)
+	a := seq(6, 1)
+	b := seq(6, 2)
+	cell := []float64{0}
+	comp.Execute(&PointArgs{Bind: []Binding{flat(a, 6), flat(b, 6),
+		{Acc: Accessor{Data: cell, Strides: []int{0}}, Ext: []int{1}}}})
+	want := 0.0
+	for i := range a {
+		want += a[i] * b[i]
+	}
+	if cell[0] != want {
+		t.Fatalf("dot = %g, want %g", cell[0], want)
+	}
+}
+
+// TestSpMV checks the CSR loop against a dense reference.
+func TestSpMV(t *testing.T) {
+	// 3x4 matrix rows: [1 0 2 0; 0 3 0 0; 4 0 0 5]
+	csr := &CSRLocal{
+		RowPtr: []int32{0, 2, 3, 5},
+		Col:    []int32{0, 2, 1, 0, 3},
+		Val:    []float64{1, 2, 3, 4, 5},
+	}
+	k := NewKernel("spmv", 2)
+	k.AddLoop(&Loop{Kind: LoopSpMV, X: 0, Y: 1, ExtRef: 1, Ext: []int{3}, PayloadKey: 7})
+	comp := Compile(k)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 3)
+	comp.Execute(&PointArgs{
+		Bind:     []Binding{flat(x, 4), flat(y, 3)},
+		Payloads: map[int]*CSRLocal{7: csr},
+	})
+	want := []float64{1*1 + 2*3, 3 * 2, 4*1 + 5*4}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+// TestGEMV checks the dense matvec loop.
+func TestGEMV(t *testing.T) {
+	k := NewKernel("gemv", 3)
+	k.AddLoop(&Loop{Kind: LoopGEMV, MatA: 0, X: 1, Y: 2, ExtRef: 0, Ext: []int{2, 3}})
+	comp := Compile(k)
+	A := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float64{1, 1, 2}
+	y := make([]float64, 2)
+	comp.Execute(&PointArgs{Bind: []Binding{
+		{Acc: Accessor{Data: A, Strides: []int{3, 1}}, Ext: []int{2, 3}},
+		flat(x, 3),
+		flat(y, 2),
+	}})
+	if y[0] != 1+2+6 || y[1] != 4+5+12 {
+		t.Fatalf("gemv = %v", y)
+	}
+}
+
+// TestStridedAccessor checks 2-D strided views address correctly.
+func TestStridedAccessor(t *testing.T) {
+	// A 4x4 buffer; access the 2x2 interior with offset (1,1).
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	k := NewKernel("copy", 2)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{2, 2}, ExtRef: 1,
+		Stmts: []Stmt{{Kind: KStore, Param: 1, E: Load(0)}}})
+	comp := Compile(k)
+	out := make([]float64, 4)
+	comp.Execute(&PointArgs{Bind: []Binding{
+		{Acc: Accessor{Data: buf, Base: 5, Strides: []int{4, 1}}, Ext: []int{2, 2}},
+		{Acc: Accessor{Data: out, Strides: []int{2, 1}}, Ext: []int{2, 2}},
+	}})
+	want := []float64{5, 6, 9, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestScalarOps spot-checks the math operators.
+func TestScalarOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, -1},
+		{OpMul, 2, 3, 6},
+		{OpDiv, 3, 2, 1.5},
+		{OpMax, 2, 3, 3},
+		{OpMin, 2, 3, 2},
+		{OpPow, 2, 10, 1024},
+		{OpGE, 3, 2, 1},
+		{OpLE, 3, 2, 0},
+	}
+	for _, c := range cases {
+		k := NewKernel("t", 1)
+		k.AddLoop(&Loop{Kind: LoopElem, Dom: "s", Ext: []int{1}, ExtRef: 0,
+			Stmts: []Stmt{{Kind: KStore, Param: 0, E: Binary(c.op, Const(c.a), Const(c.b))}}})
+		out := []float64{0}
+		Compile(k).Execute(&PointArgs{Bind: []Binding{flat(out, 1)}})
+		if out[0] != c.want {
+			t.Fatalf("%v(%g,%g) = %g, want %g", c.op, c.a, c.b, out[0], c.want)
+		}
+	}
+	// Unaries against math.
+	uns := map[Op]func(float64) float64{
+		OpNeg: func(x float64) float64 { return -x },
+		OpAbs: math.Abs, OpSqrt: math.Sqrt, OpExp: math.Exp,
+		OpLog: math.Log, OpErf: math.Erf, OpSin: math.Sin, OpCos: math.Cos,
+	}
+	for op, ref := range uns {
+		k := NewKernel("t", 1)
+		k.AddLoop(&Loop{Kind: LoopElem, Dom: "s", Ext: []int{1}, ExtRef: 0,
+			Stmts: []Stmt{{Kind: KStore, Param: 0, E: Unary(op, Const(0.7))}}})
+		out := []float64{0}
+		Compile(k).Execute(&PointArgs{Bind: []Binding{flat(out, 1)}})
+		if out[0] != ref(0.7) {
+			t.Fatalf("%v(0.7) = %g, want %g", op, out[0], ref(0.7))
+		}
+	}
+}
+
+// TestRandomDeterminism: values depend only on seed + global offset.
+func TestRandomDeterminism(t *testing.T) {
+	gen := func(base, n int) []float64 {
+		k := NewKernel("r", 1)
+		k.AddLoop(&Loop{Kind: LoopRandom, Dom: "v", Ext: []int{n}, ExtRef: 0, Seed: 42})
+		out := make([]float64, n)
+		Compile(k).Execute(&PointArgs{Bind: []Binding{
+			{Acc: Accessor{Data: out, Base: 0, Strides: []int{1}}, Ext: []int{n}},
+		}})
+		return out
+	}
+	a := gen(0, 8)
+	b := gen(0, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random fill must be deterministic")
+		}
+		if a[i] < 0 || a[i] >= 1 {
+			t.Fatalf("random value %g out of [0,1)", a[i])
+		}
+	}
+}
+
+// TestRemapPreservesSemantics (property): remapping parameters through a
+// permutation and permuting bindings identically gives identical results.
+func TestRemapPreservesSemantics(t *testing.T) {
+	fn := func(x0, x1 float64) bool {
+		if math.IsNaN(x0) || math.IsInf(x0, 0) || math.IsNaN(x1) || math.IsInf(x1, 0) {
+			return true
+		}
+		k := NewKernel("k", 3)
+		k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{2}, ExtRef: 2,
+			Stmts: []Stmt{{Kind: KStore, Param: 2, E: Binary(OpSub, Load(0), Load(1))}}})
+		a := []float64{x0, x1}
+		b := []float64{x1, x0}
+		out1 := make([]float64, 2)
+		Compile(k).Execute(&PointArgs{Bind: []Binding{flat(a, 2), flat(b, 2), flat(out1, 2)}})
+
+		rk := k.Remap([]int{2, 0, 1}, 3) // params rotate: a->2, b->0, out->1
+		out2 := make([]float64, 2)
+		Compile(rk).Execute(&PointArgs{Bind: []Binding{flat(b, 2), flat(out2, 2), flat(a, 2)}})
+		return out1[0] == out2[0] && out1[1] == out2[1]
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostAccounting sanity-checks the cost model inputs.
+func TestCostAccounting(t *testing.T) {
+	fused := Concat("fused", 5, []*Kernel{addKernel(), addKernel()}, [][]int{{0, 1, 2}, {2, 3, 4}})
+	fused.MarkLocal(2)
+	opt := Optimize(fused, nil)
+	comp := Compile(opt)
+	cs := comp.Cost(nil)
+	if cs.Launches != 1 {
+		t.Fatalf("one merged loop = one launch, got %d", cs.Launches)
+	}
+	// 4 live parameters x 8 elements x 8 bytes.
+	if cs.Bytes != 4*8*8 {
+		t.Fatalf("bytes = %g, want %g", cs.Bytes, float64(4*8*8))
+	}
+	if cs.Flops != 2*8 {
+		t.Fatalf("flops = %g, want %g", cs.Flops, float64(2*8))
+	}
+}

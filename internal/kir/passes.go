@@ -1,0 +1,252 @@
+package kir
+
+// Optimization passes over fused kernels (paper §6.3, Fig. 8c→8d).
+
+// AliasFn reports whether two kernel parameters may reference overlapping
+// data through different access patterns (distinct views of one store).
+// It is supplied by the fusion engine, which knows the store/partition of
+// each parameter; a nil AliasFn means no parameters alias.
+type AliasFn func(p, q int) bool
+
+// FuseLoops merges runs of adjacent element-wise loops whose iteration
+// domains are identical (equal Dom signatures). Merging is legal when all
+// cross-statement dependencies between the loops are element-aligned; for
+// prefixes admitted by the multi-GPU fusion constraints that is always
+// true, but single-point launches may legally fuse tasks over *aliasing*
+// views (any dependence is point-wise when there is one point), in which
+// case the loops must stay separate: merging would interleave a write with
+// offset reads of the same elements. alias captures that relation.
+// Non-element-wise loops (SpMV, GEMV, Random) act as barriers.
+func FuseLoops(k *Kernel, alias AliasFn) *Kernel {
+	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...)}
+	var cur *Loop
+	flush := func() {
+		if cur != nil {
+			out.Loops = append(out.Loops, cur)
+			cur = nil
+		}
+	}
+	for _, l := range k.Loops {
+		if l.Kind != LoopElem {
+			flush()
+			out.Loops = append(out.Loops, l.Clone())
+			continue
+		}
+		if cur == nil {
+			cur = l.Clone()
+			continue
+		}
+		if cur.Dom == l.Dom && mergeSafe(cur, l, alias) {
+			cur.Stmts = append(cur.Stmts, l.Stmts...)
+			continue
+		}
+		flush()
+		cur = l.Clone()
+	}
+	flush()
+	return out
+}
+
+// mergeSafe reports whether two element-wise loops may be interleaved
+// per-element: no parameter written by either loop aliases (under a
+// different view) a parameter accessed by the other.
+func mergeSafe(a, b *Loop, alias AliasFn) bool {
+	if alias == nil {
+		return true
+	}
+	aw, ar := loopWritesReads(a)
+	bw, br := loopWritesReads(b)
+	check := func(writes, touched map[int]bool) bool {
+		for w := range writes {
+			for x := range touched {
+				if w != x && alias(w, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return check(aw, br) && check(aw, bw) && check(bw, ar)
+}
+
+func loopWritesReads(l *Loop) (writes, reads map[int]bool) {
+	writes = map[int]bool{}
+	for _, s := range l.Stmts {
+		if s.Kind == KStore {
+			writes[s.Param] = true
+		}
+	}
+	return writes, loopLoads(l)
+}
+
+// Scalarize forwards values stored to task-local parameters: within each
+// element-wise loop, a load of a local parameter that was stored earlier in
+// the same loop body is replaced by the stored expression (value
+// forwarding). Stores to local parameters that are never loaded by any
+// later loop are then removed (dead store elimination). Local parameters
+// whose every access was forwarded need no allocation at all; the set of
+// locals that still need a task-local buffer is returned in
+// Kernel.needsBuffer (consumed by the compiler).
+func Scalarize(k *Kernel) *Kernel {
+	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...)}
+
+	// For dead-store elimination we need, per loop index, whether a local
+	// parameter is loaded by any later loop (or by a later statement that
+	// was not forwarded — handled below by only eliminating stores whose
+	// loop-local loads were all forwarded).
+	loadedLater := make([]map[int]bool, len(k.Loops)+1)
+	loadedLater[len(k.Loops)] = map[int]bool{}
+	for i := len(k.Loops) - 1; i >= 0; i-- {
+		m := map[int]bool{}
+		for p := range loadedLater[i+1] {
+			m[p] = true
+		}
+		for p := range loopLoads(k.Loops[i]) {
+			m[p] = true
+		}
+		loadedLater[i] = m
+	}
+
+	for li, l := range k.Loops {
+		if l.Kind != LoopElem {
+			out.Loops = append(out.Loops, l.Clone())
+			continue
+		}
+		nl := l.Clone()
+		nl.Stmts = nil
+		thisLoopLoads := loopLoads(l)
+		// avail maps a local parameter to the expression whose value the
+		// parameter's current element holds.
+		avail := map[int]*Expr{}
+		for _, s := range l.Stmts {
+			e := forward(s.E, avail, map[*Expr]*Expr{})
+			switch {
+			case s.Kind == KStore && out.Local[s.Param]:
+				avail[s.Param] = e
+				switch {
+				case loadedLater[li+1][s.Param]:
+					// A later loop still loads the parameter: the store
+					// (and its buffer) must stay.
+					nl.Stmts = append(nl.Stmts, Stmt{Kind: KStore, Param: s.Param, E: e})
+				case thisLoopLoads[s.Param]:
+					// Forwarded within this loop: keep an eval-only
+					// statement so the value is computed here, before any
+					// later statement mutates the expression's inputs.
+					nl.Stmts = append(nl.Stmts, Stmt{Kind: KEval, Param: s.Param, E: e})
+				default:
+					// Dead store: drop entirely.
+				}
+			default:
+				ns := s
+				ns.E = e
+				nl.Stmts = append(nl.Stmts, ns)
+			}
+		}
+		out.Loops = append(out.Loops, nl)
+	}
+	return out
+}
+
+// loopLoads returns the set of parameters loaded (element-wise or scalar)
+// by a loop.
+func loopLoads(l *Loop) map[int]bool {
+	loads := map[int]bool{}
+	var walk func(e *Expr)
+	seen := map[*Expr]bool{}
+	walk = func(e *Expr) {
+		if e == nil || seen[e] {
+			return
+		}
+		seen[e] = true
+		if e.Op == OpLoad || e.Op == OpLoadScalar {
+			loads[e.Param] = true
+		}
+		walk(e.A)
+		walk(e.B)
+		walk(e.C)
+	}
+	switch l.Kind {
+	case LoopElem:
+		for _, s := range l.Stmts {
+			walk(s.E)
+		}
+	case LoopSpMV, LoopAxisReduce:
+		loads[l.X] = true
+	case LoopGEMV:
+		loads[l.X] = true
+		loads[l.MatA] = true
+	}
+	return loads
+}
+
+// forward substitutes loads of available local values.
+func forward(e *Expr, avail map[int]*Expr, memo map[*Expr]*Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	// Loads of available local values are forwarded. OpLoadScalar loads of
+	// size-1 locals forward identically: the loops merged here share their
+	// (single-element) iteration domain.
+	if e.Op == OpLoad || e.Op == OpLoadScalar {
+		if v, ok := avail[e.Param]; ok {
+			memo[e] = v
+			return v
+		}
+	}
+	n := *e
+	n.A = forward(e.A, avail, memo)
+	n.B = forward(e.B, avail, memo)
+	n.C = forward(e.C, avail, memo)
+	if n.A == e.A && n.B == e.B && n.C == e.C {
+		memo[e] = e
+		return e
+	}
+	memo[e] = &n
+	return &n
+}
+
+// Optimize runs the full pass pipeline: loop fusion then scalarization.
+// alias may be nil when no parameters can alias.
+func Optimize(k *Kernel, alias AliasFn) *Kernel {
+	return Scalarize(FuseLoops(k, alias))
+}
+
+// BufferLocals returns the set of local parameters that still require a
+// task-local buffer after optimization (they are stored in one loop and
+// loaded in another), together with the loop index that defines each
+// buffer's extent (the first loop storing to it).
+func BufferLocals(k *Kernel) map[int]int {
+	needs := map[int]int{}
+	for li, l := range k.Loops {
+		if l.Kind == LoopElem {
+			for _, s := range l.Stmts {
+				if s.Kind == KStore && k.Local[s.Param] {
+					if _, ok := needs[s.Param]; !ok {
+						needs[s.Param] = li
+					}
+				}
+			}
+		}
+		if l.Kind == LoopSpMV || l.Kind == LoopGEMV || l.Kind == LoopAxisReduce {
+			if k.Local[l.Y] {
+				if _, ok := needs[l.Y]; !ok {
+					needs[l.Y] = li
+				}
+			}
+		}
+		if (l.Kind == LoopRandom || l.Kind == LoopIota) && k.Local[l.ExtRef] {
+			if _, ok := needs[l.ExtRef]; !ok {
+				needs[l.ExtRef] = li
+			}
+		}
+	}
+	// Locals that are never loaded anywhere after scalarization and whose
+	// stores were eliminated will not appear here because the stores are
+	// gone; locals that retained stores but are never loaded can also be
+	// dropped — but Scalarize already removed such stores, so anything
+	// remaining is genuinely needed.
+	return needs
+}

@@ -1,0 +1,114 @@
+package kir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOptimizePreservesSemantics generates random multi-loop element-wise
+// kernels with randomly demoted local parameters and checks that the full
+// pass pipeline (loop fusion + scalarization + dead-store elimination)
+// leaves the observable outputs bit-identical to the unoptimized kernel.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 6
+		nParams := 4 + rng.Intn(5)
+		k := NewKernel("rand", nParams)
+
+		// Random expression over parameters written so far (or constants).
+		written := map[int]bool{0: true, 1: true} // params 0,1 are inputs
+		var randExpr func(depth int) *Expr
+		randExpr = func(depth int) *Expr {
+			if depth <= 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					// Load some written param.
+					var cands []int
+					for p := range written {
+						cands = append(cands, p)
+					}
+					return Load(cands[rng.Intn(len(cands))])
+				}
+				return Const(float64(rng.Intn(7)) - 3)
+			}
+			ops := []Op{OpAdd, OpSub, OpMul, OpMax, OpMin}
+			return Binary(ops[rng.Intn(len(ops))], randExpr(depth-1), randExpr(depth-1))
+		}
+
+		nLoops := 1 + rng.Intn(4)
+		for l := 0; l < nLoops; l++ {
+			var stmts []Stmt
+			for s := 0; s < 1+rng.Intn(3); s++ {
+				dst := 2 + rng.Intn(nParams-2)
+				stmts = append(stmts, Stmt{Kind: KStore, Param: dst, E: randExpr(3)})
+				written[dst] = true
+			}
+			k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{n}, ExtRef: 0, Stmts: stmts})
+		}
+		// Demote a random subset of non-input params that the caller will
+		// not observe.
+		locals := map[int]bool{}
+		for p := 2; p < nParams; p++ {
+			if rng.Intn(3) == 0 {
+				k.MarkLocal(p)
+				locals[p] = true
+			}
+		}
+
+		exec := func(kk *Kernel) [][]float64 {
+			bufs := make([][]float64, nParams)
+			bind := make([]Binding, nParams)
+			for p := 0; p < nParams; p++ {
+				if kk.Local[p] {
+					bind[p] = Binding{Ext: []int{n}}
+					continue
+				}
+				bufs[p] = make([]float64, n)
+				for i := range bufs[p] {
+					// Deterministic init so both runs start identically.
+					bufs[p][i] = math.Round(float64((p*31+i*7)%13)) - 6
+				}
+				bind[p] = Binding{Acc: Accessor{Data: bufs[p], Strides: []int{1}}, Ext: []int{n}}
+			}
+			Compile(kk).Execute(&PointArgs{Bind: bind})
+			return bufs
+		}
+
+		got := exec(k)
+		want := exec(Optimize(k, nil))
+
+		for p := 0; p < nParams; p++ {
+			if locals[p] || k.Local[p] {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if got[p][i] != want[p][i] {
+					t.Logf("seed %d: param %d elem %d: %g vs %g", seed, p, i, got[p][i], want[p][i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizeIdempotent: running the pipeline twice changes nothing.
+func TestOptimizeIdempotent(t *testing.T) {
+	fused := Concat("f", 5, []*Kernel{addKernel(), addKernel()}, [][]int{{0, 1, 2}, {2, 3, 4}})
+	fused.MarkLocal(2)
+	once := Optimize(fused, nil)
+	twice := Optimize(once, nil)
+	if len(once.Loops) != len(twice.Loops) {
+		t.Fatal("Optimize must be idempotent in loop structure")
+	}
+	for i := range once.Loops {
+		if len(once.Loops[i].Stmts) != len(twice.Loops[i].Stmts) {
+			t.Fatal("Optimize must be idempotent in statement counts")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package legion
+
+import (
+	"fmt"
+	"sync"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// executeReal runs the task's point tasks in parallel on the worker pool
+// over real buffers.
+func (rt *Runtime) executeReal(t *ir.Task) {
+	if t.Kernel == nil {
+		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
+	}
+	comp := rt.Compiled(t.Kernel)
+	colors := t.Launch.Points()
+	n := len(colors)
+
+	// Pre-resolve regions (serialized; allocation may occur) and reduction
+	// partials.
+	data := make([][]float64, len(t.Args))
+	var redArgs []int
+	for i, a := range t.Args {
+		if t.Kernel.Local[i] {
+			continue // temporary-eliminated: no region
+		}
+		r := rt.regionFor(a.Store, a.Red)
+		data[i] = r.data
+		if a.Priv.Reduces() {
+			redArgs = append(redArgs, i)
+		}
+	}
+	// Per-point partial cells for reductions (combined after the barrier,
+	// mirroring Legion's reduction instances).
+	partials := map[int][]float64{}
+	for _, i := range redArgs {
+		p := make([]float64, n)
+		id := redOpOf(t.Args[i].Red).Identity()
+		for j := range p {
+			p[j] = id
+		}
+		partials[i] = p
+	}
+
+	payload, _ := t.Payload.(*Payload)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rt.workers)
+	for pi, color := range colors {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int, color ir.Point) {
+			defer func() { <-sem; wg.Done() }()
+			rt.runPoint(t, comp, data, partials, payload, pi, color)
+		}(pi, color)
+	}
+	wg.Wait()
+
+	// Fold reduction partials into the destination cells.
+	for _, i := range redArgs {
+		op := redOpOf(t.Args[i].Red)
+		cell := data[i]
+		acc := cell[0]
+		for _, v := range partials[i] {
+			acc = op.Combine(acc, v)
+		}
+		cell[0] = acc
+	}
+}
+
+func redOpOf(op ir.ReduceOp) kir.RedOp {
+	switch op {
+	case ir.RedMax:
+		return kir.RedMax
+	case ir.RedMin:
+		return kir.RedMin
+	default:
+		return kir.RedSum
+	}
+}
+
+// runPoint builds the kir bindings for one point task and executes it.
+func (rt *Runtime) runPoint(t *ir.Task, comp *kir.Compiled, data [][]float64, partials map[int][]float64, payload *Payload, pi int, color ir.Point) {
+	pa := &kir.PointArgs{
+		Bind:    make([]kir.Binding, len(t.Args)),
+		Scratch: rt.scratch.Get().(*kir.Scratch),
+	}
+	defer rt.scratch.Put(pa.Scratch)
+
+	for i, a := range t.Args {
+		pa.Bind[i] = rt.bindArg(a, data[i], partials[i], pi, color, t.Kernel.Local[i])
+	}
+	if payload != nil && len(payload.CSR) > 0 {
+		pa.Payloads = map[int]*kir.CSRLocal{}
+		for k, prov := range payload.CSR {
+			pa.Payloads[k] = prov.Local(pi)
+		}
+	}
+	comp.Execute(pa)
+}
+
+// bindArg computes the accessor and local extents of one argument at one
+// color.
+func (rt *Runtime) bindArg(a ir.Arg, data []float64, partial []float64, pi int, color ir.Point, local bool) kir.Binding {
+	shape := a.Store.Shape()
+	strides := a.Store.Strides()
+	ext := a.Part.LocalExtents(color, shape)
+
+	if a.Priv.Reduces() && partial != nil {
+		// Reductions accumulate into the point's private cell.
+		return kir.Binding{
+			Acc: kir.Accessor{Data: partial, Base: pi, Strides: []int{0}},
+			Ext: []int{1},
+		}
+	}
+
+	switch p := a.Part.(type) {
+	case *ir.NonePart:
+		return kir.Binding{
+			Acc: kir.Accessor{Data: data, Base: 0, Strides: strides},
+			Ext: ext,
+		}
+	case *ir.TilingPart:
+		c := p.Proj.Apply(color)
+		base := 0
+		accStr := make([]int, len(shape))
+		for d := range shape {
+			first := p.Offset[d] + c[d]*p.Tile[d]*p.Stride[d]
+			base += first * strides[d]
+			accStr[d] = p.Stride[d] * strides[d]
+		}
+		return kir.Binding{
+			Acc: kir.Accessor{Data: data, Base: base, Strides: accStr},
+			Ext: ext,
+		}
+	default:
+		panic(fmt.Sprintf("legion: unknown partition kind %T", a.Part))
+	}
+}
+
+// executeSim advances the machine simulation by one index task without
+// touching data.
+func (rt *Runtime) executeSim(t *ir.Task) {
+	if t.Kernel == nil {
+		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
+	}
+	comp := rt.Compiled(t.Kernel)
+	payload, _ := t.Payload.(*Payload)
+	var stats kir.SpMVStats
+	if payload != nil {
+		stats = func(key int) (float64, float64) {
+			prov, ok := payload.CSR[key]
+			if !ok {
+				return 0, 0
+			}
+			return prov.Stats()
+		}
+	}
+	cost := comp.Cost(stats)
+	n := t.Launch.Size()
+	sec := rt.sim.ComputeCost(cost.Bytes, cost.Flops, cost.Launches)
+	rt.sim.KernelCount += int64(cost.Launches)
+	rt.sim.IndexTask(n, func(int) float64 { return sec })
+	// Reductions imply a combine step visible to subsequent readers; the
+	// allreduce is charged at the read (coherence), matching Legion's lazy
+	// reduction instances.
+}

@@ -1,0 +1,388 @@
+// Package legion is the task-based runtime substrate underneath Diffuse —
+// the stand-in for the Legion runtime system of the paper. It accepts
+// streams of index tasks over partitioned stores (after Diffuse's fusion
+// layer has processed them), maintains coherence of distributed data via
+// last-writer tracking, and executes point tasks either:
+//
+//   - for real (ModeReal): point tasks run in parallel on a worker pool
+//     over actual float64 buffers, producing real numerics — this is what
+//     the test suite and the real micro-benchmarks use; or
+//   - simulated (ModeSim): no data is allocated; the task stream drives
+//     the machine cost model (internal/machine) so weak-scaling studies up
+//     to 128 simulated GPUs run on a laptop.
+//
+// Both modes honour identical privilege/coherence semantics, so a fusion
+// decision that is legal in one is legal in the other.
+package legion
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/machine"
+)
+
+// Mode selects real or simulated execution.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeReal executes point tasks over real buffers.
+	ModeReal Mode = iota
+	// ModeSim drives the machine cost model without allocating data.
+	ModeSim
+)
+
+// CSRProvider supplies the CSR structure payload of SpMV loops: the local
+// rows for a given color (real execution) and aggregate statistics (cost
+// model).
+type CSRProvider interface {
+	Local(color int) *kir.CSRLocal
+	Stats() (rowsPerPoint, nnzPerPoint float64)
+}
+
+// Payload is the auxiliary, dependence-free data attached to a task:
+// per-payload-key CSR structures.
+type Payload struct {
+	CSR map[int]CSRProvider
+}
+
+// MergePayloads combines the payloads of fused tasks.
+func MergePayloads(tasks []*ir.Task) *Payload {
+	var out *Payload
+	for _, t := range tasks {
+		p, ok := t.Payload.(*Payload)
+		if !ok || p == nil {
+			continue
+		}
+		if out == nil {
+			out = &Payload{CSR: map[int]CSRProvider{}}
+		}
+		for k, v := range p.CSR {
+			out.CSR[k] = v
+		}
+	}
+	return out
+}
+
+// region is the backing storage for one store.
+type region struct {
+	data []float64
+}
+
+// Runtime is the Legion-analogue runtime instance.
+type Runtime struct {
+	mode Mode
+	sim  *machine.Sim
+
+	mu      sync.Mutex
+	regions map[ir.StoreID]*region
+	// writers tracks the partitions whose writes produced each store's
+	// current contents (a covering write resets the set) — a lightweight
+	// stand-in for Legion's per-subregion version/coherence metadata.
+	writers  map[ir.StoreID][]ir.Partition
+	pendRed  map[ir.StoreID]ir.ReduceOp // stores with uncombined reductions
+	compiled map[*kir.Kernel]*kir.Compiled
+
+	workers int
+	scratch sync.Pool
+
+	// ExecutedTasks counts index tasks that reached the runtime (post
+	// fusion); used by the Fig. 9 accounting.
+	ExecutedTasks int64
+	// MovedBytes accumulates simulated communication volume.
+	MovedBytes float64
+	// Trace, when set, observes every task as it executes (the
+	// diffuse-trace tool and tests).
+	Trace func(t *ir.Task)
+}
+
+// New creates a runtime. cfg configures the simulated machine; in ModeReal
+// only cfg.GPUs is consulted (as the default launch width).
+func New(mode Mode, cfg machine.Config) *Runtime {
+	rt := &Runtime{
+		mode:     mode,
+		sim:      machine.NewSim(cfg),
+		regions:  map[ir.StoreID]*region{},
+		writers:  map[ir.StoreID][]ir.Partition{},
+		pendRed:  map[ir.StoreID]ir.ReduceOp{},
+		compiled: map[*kir.Kernel]*kir.Compiled{},
+		workers:  runtime.GOMAXPROCS(0),
+	}
+	rt.scratch.New = func() any { return kir.NewScratch() }
+	return rt
+}
+
+// Mode returns the execution mode.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// Sim exposes the machine simulation (valid in both modes; only advanced
+// in ModeSim).
+func (rt *Runtime) Sim() *machine.Sim { return rt.sim }
+
+// SimTime returns the simulated makespan.
+func (rt *Runtime) SimTime() float64 { return rt.sim.Time() }
+
+// Compiled returns (compiling and caching on first use) the executable
+// form of a kernel. The fusion layer optimizes fused kernels before they
+// arrive here; unfused kernels compile as-is, mirroring the precompiled
+// task variants of standard cuPyNumeric.
+func (rt *Runtime) Compiled(k *kir.Kernel) *kir.Compiled {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if c, ok := rt.compiled[k]; ok {
+		return c
+	}
+	c := kir.Compile(k)
+	rt.compiled[k] = c
+	return c
+}
+
+// regionFor returns (allocating if needed) the buffer of a store.
+func (rt *Runtime) regionFor(s *ir.Store, initRed ir.ReduceOp) *region {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r, ok := rt.regions[s.ID()]
+	if !ok {
+		r = &region{data: make([]float64, s.Size())}
+		if initRed == ir.RedMax || initRed == ir.RedMin {
+			id := redIdentity(initRed)
+			for i := range r.data {
+				r.data[i] = id
+			}
+		}
+		rt.regions[s.ID()] = r
+	}
+	return r
+}
+
+func redIdentity(op ir.ReduceOp) float64 {
+	switch op {
+	case ir.RedMax:
+		return kir.RedMax.Identity()
+	case ir.RedMin:
+		return kir.RedMin.Identity()
+	default:
+		return 0
+	}
+}
+
+// FreeStore drops the region of a dead store.
+func (rt *Runtime) FreeStore(id ir.StoreID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.regions, id)
+	delete(rt.writers, id)
+	delete(rt.pendRed, id)
+}
+
+// ReadScalar returns element 0 of the store's region. ModeReal only; in
+// ModeSim data does not exist and 0 is returned (benchmarks use fixed
+// iteration counts rather than data-dependent convergence tests).
+func (rt *Runtime) ReadScalar(s *ir.Store) float64 {
+	if rt.mode == ModeSim {
+		return 0
+	}
+	r := rt.regionFor(s, ir.RedNone)
+	return r.data[0]
+}
+
+// ReadAll copies out the store contents (tests and examples; ModeReal).
+func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
+	r := rt.regionFor(s, ir.RedNone)
+	out := make([]float64, len(r.data))
+	copy(out, r.data)
+	return out
+}
+
+// WriteAll overwrites the store contents (tests and examples; ModeReal).
+func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
+	r := rt.regionFor(s, ir.RedNone)
+	if len(data) != len(r.data) {
+		panic(fmt.Sprintf("legion: WriteAll size mismatch %d != %d", len(data), len(r.data)))
+	}
+	copy(r.data, data)
+	rt.mu.Lock()
+	rt.writers[s.ID()] = []ir.Partition{ir.ReplicateOver(ir.MakeRect(ir.Point{0}, ir.Point{1}))}
+	rt.mu.Unlock()
+}
+
+// Execute runs one index task to completion (issue-order execution; the
+// fusion layer above has already extracted the available parallelism into
+// point tasks).
+func (rt *Runtime) Execute(t *ir.Task) {
+	rt.ExecutedTasks++
+	if rt.Trace != nil {
+		rt.Trace(t)
+	}
+	rt.coherence(t)
+	if rt.mode == ModeSim {
+		rt.executeSim(t)
+	} else {
+		rt.executeReal(t)
+	}
+	rt.updateWriters(t)
+}
+
+// coherence inspects read accesses against last-writer partitions and, in
+// ModeSim, charges the induced communication. This models Legion's
+// dynamic dependence analysis and copy generation: reading data through a
+// partition different from the one it was produced with requires data
+// movement.
+func (rt *Runtime) coherence(t *ir.Task) {
+	n := t.Launch.Size()
+	for _, a := range t.Args {
+		if !a.Priv.Reads() && !a.Priv.Reduces() {
+			continue
+		}
+		// Pending reduction: a read after reductions forces the runtime to
+		// combine partial reduction instances (an allreduce for the
+		// replicated scalars our libraries use).
+		if _, ok := rt.pendRed[a.Store.ID()]; ok && a.Priv.Reads() {
+			if rt.mode == ModeSim {
+				rt.sim.Communicate(machine.CollAllReduce, rt.sim.Cfg.GPUs, float64(a.Store.Size()*8))
+			}
+			delete(rt.pendRed, a.Store.ID())
+		}
+		if !a.Priv.Reads() {
+			continue
+		}
+		ws := rt.writers[a.Store.ID()]
+		if len(ws) == 0 || anyEqual(ws, a.Part) {
+			// Never written, or produced through exactly this partition:
+			// the data a point task reads is already local (other writers
+			// contributed at most negligible slivers once one matches).
+			continue
+		}
+		if rt.mode != ModeSim {
+			continue
+		}
+		bytes := rt.commBytes(a, ws)
+		if a.HaloBytes > 0 && bytes > a.HaloBytes {
+			bytes = a.HaloBytes
+		}
+		if bytes <= 0 {
+			continue
+		}
+		rt.MovedBytes += bytes * float64(n)
+		switch {
+		case a.HaloBytes > 0:
+			rt.sim.Communicate(machine.CollHalo, n, a.HaloBytes)
+		case a.Part.Kind() == ir.KindNone:
+			rt.sim.Communicate(machine.CollAllGather, n, bytes)
+		default:
+			rt.sim.Communicate(machine.CollHalo, n, bytes)
+		}
+		// The moved data is now resident under the reader's partition:
+		// record it as a valid instance so repeated reads (e.g. a matrix
+		// reused every iteration) pay only once, as Legion's cached
+		// physical instances do. Halo-hinted reads stay per-iteration:
+		// their producer is rewritten between uses anyway.
+		if a.HaloBytes == 0 {
+			id := a.Store.ID()
+			ws := append(rt.writers[id], a.Part)
+			if len(ws) > maxWriters {
+				ws = append([]ir.Partition{ws[0]}, ws[len(ws)-maxWriters+1:]...)
+			}
+			rt.writers[id] = ws
+		}
+	}
+}
+
+func anyEqual(ws []ir.Partition, p ir.Partition) bool {
+	for _, w := range ws {
+		if w.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// commBytes estimates, per participating GPU, the bytes that must move to
+// satisfy reading a.Store through a.Part given the writer partitions that
+// produced its contents. The estimate samples a representative interior
+// color and credits the best-covering writer, keeping the computation
+// independent of data size.
+func (rt *Runtime) commBytes(a ir.Arg, ws []ir.Partition) float64 {
+	parent := a.Store.Bounds()
+	switch a.Part.Kind() {
+	case ir.KindNone:
+		// Replicated read of distributed data: each GPU must gather the
+		// remote fraction; charge the per-GPU local share (the collective
+		// model multiplies by (n-1)).
+		n := 1
+		for _, w := range ws {
+			if s := w.ColorSpace().Size(); s > n {
+				n = s
+			}
+		}
+		if n <= 1 {
+			return 0
+		}
+		return float64(a.Store.Size()*8) / float64(n)
+	default:
+		// Differently-tiled read (e.g. halo): bytes = |read sub-store|
+		// minus the locally available part under the best writer.
+		c := interiorColor(a.Part.ColorSpace())
+		readR := a.Part.SubRect(c, parent)
+		best := 0
+		for _, w := range ws {
+			if !w.ColorSpace().Contains(c) {
+				continue
+			}
+			if ov := readR.Intersect(w.SubRect(c, parent)).Size(); ov > best {
+				best = ov
+			}
+		}
+		missing := readR.Size() - best
+		if missing < 0 {
+			missing = 0
+		}
+		return float64(missing * 8)
+	}
+}
+
+func interiorColor(colors Rect) ir.Point {
+	c := make(ir.Point, colors.Rank())
+	for d := range c {
+		c[d] = (colors.Lo[d] + colors.Hi[d]) / 2
+	}
+	return c
+}
+
+// Rect is re-exported locally for brevity.
+type Rect = ir.Rect
+
+// updateWriters records the partitions that produced each store's current
+// contents: a covering write owns the whole store and resets the set;
+// partial writes (interior views, boundary strips) accumulate, capped to
+// bound the metadata like Legion's version-number compaction.
+const maxWriters = 8
+
+func (rt *Runtime) updateWriters(t *ir.Task) {
+	for _, a := range t.Args {
+		switch {
+		case a.Priv.Writes():
+			id := a.Store.ID()
+			if a.Part.Covers(a.Store.Bounds()) {
+				rt.writers[id] = []ir.Partition{a.Part}
+			} else if !anyEqual(rt.writers[id], a.Part) {
+				ws := append(rt.writers[id], a.Part)
+				if len(ws) > maxWriters {
+					// Keep the (typically covering) first writer and the
+					// most recent partial writers.
+					kept := append([]ir.Partition{ws[0]}, ws[len(ws)-maxWriters+1:]...)
+					ws = kept
+				}
+				rt.writers[id] = ws
+			}
+			delete(rt.pendRed, a.Store.ID())
+		case a.Priv.Reduces():
+			rt.pendRed[a.Store.ID()] = a.Red
+			rt.writers[a.Store.ID()] = []ir.Partition{a.Part}
+		}
+	}
+}
