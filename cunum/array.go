@@ -59,8 +59,19 @@ func (a *Array) Size() int {
 // Context returns the issuing context.
 func (a *Array) Context() *Context { return a.ctx }
 
+// st returns the backing store, panicking with a clear message when the
+// handle was already freed (every operation entry point goes through it —
+// a nil store would otherwise surface as an opaque nil dereference deep in
+// the runtime).
+func (a *Array) st() *ir.Store {
+	if a.store == nil {
+		panic("cunum: use of freed array")
+	}
+	return a.store
+}
+
 // Store exposes the backing store (tests and library integration).
-func (a *Array) Store() *ir.Store { return a.store }
+func (a *Array) Store() *ir.Store { return a.st() }
 
 // Keep pins the array: it is no longer ephemeral and will not be freed by
 // a consuming operation. Returns the array for chaining.
@@ -100,6 +111,7 @@ func consume(arrays ...*Array) {
 // Slice returns the aliasing view a[lo[0]:hi[0], lo[1]:hi[1], ...]. The
 // result shares the parent store; it is not ephemeral.
 func (a *Array) Slice(lo, hi []int) *Array {
+	a.st()
 	if len(lo) != a.Rank() || len(hi) != a.Rank() {
 		panic("cunum: Slice rank mismatch")
 	}
@@ -125,6 +137,7 @@ func (a *Array) Slice(lo, hi []int) *Array {
 
 // Step returns the strided view a[::step[d]] of the current view.
 func (a *Array) Step(step []int) *Array {
+	a.st()
 	if len(step) != a.Rank() {
 		panic("cunum: Step rank mismatch")
 	}
@@ -195,10 +208,28 @@ func (a *Array) sameShape(b *Array) {
 	}
 }
 
-// ToHost flushes pending work and copies the view out row-major.
-// ModeReal only.
+// viewOffset returns the flat canonical-layout offset of the view element
+// at idx (the view origin when idx is empty).
+func (a *Array) viewOffset(idx []int) int {
+	if len(idx) != 0 && len(idx) != a.Rank() {
+		panic("cunum: index rank mismatch")
+	}
+	strides := a.st().Strides()
+	off := 0
+	for d := range a.offset {
+		i := 0
+		if len(idx) > 0 {
+			i = idx[d]
+		}
+		off += (a.offset[d] + i*a.stride[d]) * strides[d]
+	}
+	return off
+}
+
+// ToHost forces the tasks this view depends on (leaving independent
+// buffered work pending) and copies the view out row-major. ModeReal only.
 func (a *Array) ToHost() []float64 {
-	a.ctx.Flush()
+	a.ctx.sess.FlushStore(a.st())
 	raw := a.ctx.rt.Legion().ReadAll(a.store)
 	out := make([]float64, a.Size())
 	strides := a.store.Strides()
@@ -220,35 +251,34 @@ func (a *Array) ToHost() []float64 {
 	return out
 }
 
-// FromHost flushes pending work and overwrites the full backing store
-// (the view must be the whole store). ModeReal only; intended for test
-// and example setup.
+// FromHost forces the tasks touching this store and overwrites the full
+// backing store (the view must be the whole store). ModeReal only;
+// intended for test and example setup.
 func (a *Array) FromHost(data []float64) {
-	if a.Size() != a.store.Size() {
+	if a.Size() != a.st().Size() {
 		panic("cunum: FromHost requires a whole-store view")
 	}
-	a.ctx.Flush()
+	a.ctx.sess.FlushStore(a.store)
 	a.ctx.rt.Legion().WriteAll(a.store, data)
 }
 
-// Get reads one element (flushes). ModeReal only.
+// Get reads one element, forcing only the tasks the view depends on.
+// ModeReal only.
 func (a *Array) Get(idx ...int) float64 {
 	if len(idx) != a.Rank() {
 		panic("cunum: Get rank mismatch")
 	}
-	a.ctx.Flush()
-	raw := a.ctx.rt.Legion().ReadAll(a.store)
-	strides := a.store.Strides()
-	off := 0
-	for d := range idx {
-		off += (a.offset[d] + idx[d]*a.stride[d]) * strides[d]
-	}
-	return raw[off]
+	off := a.viewOffset(idx)
+	a.ctx.sess.FlushStore(a.store)
+	return a.ctx.rt.Legion().ReadAt(a.store, off)
 }
 
-// Scalar reads a shape-[1] array's value (flushes). ModeReal returns the
-// value; ModeSim returns 0.
+// Scalar reads a shape-[1] array's value, forcing only its dependency
+// closure. ModeReal returns the value; ModeSim returns 0. Prefer Future
+// when the value is not needed immediately: a future keeps even the forced
+// flush out of the submitting stream until Value is called.
 func (a *Array) Scalar() float64 {
-	a.ctx.Flush()
-	return a.ctx.rt.Legion().ReadScalar(a.store)
+	off := a.viewOffset(nil)
+	a.ctx.sess.FlushStore(a.st())
+	return a.ctx.rt.Legion().ReadAt(a.store, off)
 }

@@ -22,29 +22,54 @@ import (
 	"diffuse/internal/ir"
 )
 
-// Context issues cunum operations into one Diffuse runtime.
+// Context issues cunum operations into one session of a Diffuse runtime.
 type Context struct {
 	rt    *core.Runtime
+	sess  *core.Session
 	procs int
 	grid2 [2]int // processor grid used for 2-D arrays
 }
 
-// NewContext wraps a Diffuse runtime.
+// NewContext wraps a Diffuse runtime, issuing into its default session.
 func NewContext(rt *core.Runtime) *Context {
+	return newContext(rt, rt.DefaultSession())
+}
+
+// NewSessionContext wraps one session of a shared runtime. Independent
+// goroutines each create a session (core.Runtime.NewSession) and a context
+// over it; every context then has its own ordered task stream and fusion
+// window while arrays remain shared through the runtime's store namespace.
+// A context, like its session, must be used from a single goroutine.
+//
+// Cross-session coherence: read-backs (ToHost, Get, Scalar, futures) force
+// only the reading session's own buffered tasks. To hand an array from one
+// session to another, the producing session must flush (or force a future
+// on) the producing tasks first; otherwise the reader observes the store's
+// prior contents.
+func NewSessionContext(sess *core.Session) *Context {
+	return newContext(sess.Runtime(), sess)
+}
+
+func newContext(rt *core.Runtime, sess *core.Session) *Context {
 	p := rt.Procs()
 	pr, pc := factor2(p)
-	return &Context{rt: rt, procs: p, grid2: [2]int{pr, pc}}
+	return &Context{rt: rt, sess: sess, procs: p, grid2: [2]int{pr, pc}}
 }
 
 // Runtime returns the underlying Diffuse runtime.
 func (c *Context) Runtime() *core.Runtime { return c.rt }
 
+// Session returns the session this context issues into.
+func (c *Context) Session() *core.Session { return c.sess }
+
+// Flush drains this session's entire task window (the flush_window of the
+// paper's Fig. 6). Read-backs (ToHost, Get, Scalar, futures) do not call
+// it — they force only the dependency closure of the store being read, so
+// unrelated buffered work stays in the window.
+func (c *Context) Flush() { c.sess.Flush() }
+
 // Procs returns the processor count operations are decomposed over.
 func (c *Context) Procs() int { return c.procs }
-
-// Flush drains Diffuse's task window (the flush_window of the paper's
-// Fig. 6); any API that reads data back calls it implicitly.
-func (c *Context) Flush() { c.rt.Flush() }
 
 // factor2 returns the most balanced pr*pc == p factorization.
 func factor2(p int) (int, int) {

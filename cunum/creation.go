@@ -52,7 +52,7 @@ func (c *Context) Random(seed uint64, shape ...int) *Array {
 		ExtRef: 0,
 		Seed:   seed,
 	})
-	c.rt.Submit(&ir.Task{
+	c.sess.Submit(&ir.Task{
 		Name:   "random",
 		Launch: launch,
 		Args:   []ir.Arg{{Store: a.store, Part: a.partition(), Priv: ir.Write}},

@@ -1,0 +1,212 @@
+package cunum
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"diffuse/internal/kir"
+)
+
+// ElemOp describes one element-wise operation as data: a name (which also
+// names the emitted task, participating in the memoized canonical form), a
+// fixed arity of array operands, a number of scalar constants baked into
+// the kernel, and the kernel-IR builder. All of cunum's element-wise
+// operators are entries in one registry, and other task-based libraries
+// (package sparse) register their own ops into the same table — so every
+// operator gains the generic appliers (ApplyOp, ApplyOpInto) and in-place
+// variants without hand-rolling an emitter.
+type ElemOp struct {
+	Name   string
+	Arity  int
+	Consts int
+	Build  func(loads []*kir.Expr, consts []float64) *kir.Expr
+}
+
+var elemOps = struct {
+	sync.RWMutex
+	m map[string]ElemOp
+}{m: map[string]ElemOp{}}
+
+// RegisterElemOp adds an operation to the registry. Registering a nil
+// builder, a negative arity, or a duplicate name panics: op tables are
+// assembled at init time and a collision is a programming error.
+func RegisterElemOp(op ElemOp) {
+	if op.Name == "" || op.Build == nil || op.Arity < 0 || op.Consts < 0 {
+		panic(fmt.Sprintf("cunum: invalid ElemOp %+v", op))
+	}
+	elemOps.Lock()
+	defer elemOps.Unlock()
+	if _, dup := elemOps.m[op.Name]; dup {
+		panic(fmt.Sprintf("cunum: duplicate ElemOp %q", op.Name))
+	}
+	elemOps.m[op.Name] = op
+}
+
+// LookupElemOp returns the registered operation descriptor.
+func LookupElemOp(name string) (ElemOp, bool) {
+	elemOps.RLock()
+	defer elemOps.RUnlock()
+	op, ok := elemOps.m[name]
+	return op, ok
+}
+
+// ElemOpNames returns the sorted names of all registered operations.
+func ElemOpNames() []string {
+	elemOps.RLock()
+	defer elemOps.RUnlock()
+	names := make([]string, 0, len(elemOps.m))
+	for n := range elemOps.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mustOp resolves a registered op and checks the call shape against it.
+func mustOp(name string, arity, consts int) ElemOp {
+	op, ok := LookupElemOp(name)
+	if !ok {
+		panic(fmt.Sprintf("cunum: unregistered ElemOp %q", name))
+	}
+	if op.Arity != arity || op.Consts != consts {
+		panic(fmt.Sprintf("cunum: ElemOp %q wants %d inputs / %d consts, got %d / %d",
+			name, op.Arity, op.Consts, arity, consts))
+	}
+	return op
+}
+
+// broadcastBase picks the array whose shape the result takes: the first
+// non-scalar input (scalar shape-[1] operands broadcast), else the first.
+func broadcastBase(ins []*Array) *Array {
+	base := ins[0]
+	for _, in := range ins {
+		if !in.IsScalar() {
+			return in
+		}
+	}
+	return base
+}
+
+// ApplyOp issues one element-wise task out = op(ins..., consts...) through
+// the registry and returns a fresh ephemeral result. Ephemeral inputs are
+// consumed, exactly as the named operator methods do.
+func ApplyOp(name string, ins []*Array, consts ...float64) *Array {
+	op := mustOp(name, len(ins), len(consts))
+	if len(ins) == 0 {
+		panic("cunum: ApplyOp requires at least one input (use ApplyOpInto for generators)")
+	}
+	base := broadcastBase(ins)
+	out := base.ctx.newArray(name, base.shape, true)
+	base.ctx.emitMap(name, out, ins, func(l []*kir.Expr) *kir.Expr {
+		return op.Build(l, consts)
+	})
+	consume(dedup(ins...)...)
+	return out
+}
+
+// ApplyOpInto issues op(ins..., consts...) writing into the destination
+// view dst — the in-place form every registered op gets for free. Like
+// Assign/Fill, an ephemeral destination view is released after the task is
+// issued (the anonymous-slice-assignment pattern).
+func ApplyOpInto(name string, dst *Array, ins []*Array, consts ...float64) {
+	op := mustOp(name, len(ins), len(consts))
+	dst.ctx.emitMap(name, dst, ins, func(l []*kir.Expr) *kir.Expr {
+		return op.Build(l, consts)
+	})
+	consume(dedup(append(append([]*Array{}, ins...), dst)...)...)
+}
+
+// bin registers a two-operand kir binary as an ElemOp.
+func bin(name string, op kir.Op) {
+	RegisterElemOp(ElemOp{Name: name, Arity: 2, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Binary(op, l[0], l[1])
+	}})
+}
+
+// binC registers a one-operand, one-constant kir binary; rev puts the
+// constant on the left (c - a, c / a).
+func binC(name string, op kir.Op, rev bool) {
+	RegisterElemOp(ElemOp{Name: name, Arity: 1, Consts: 1, Build: func(l []*kir.Expr, c []float64) *kir.Expr {
+		if rev {
+			return kir.Binary(op, kir.Const(c[0]), l[0])
+		}
+		return kir.Binary(op, l[0], kir.Const(c[0]))
+	}})
+}
+
+// un registers a one-operand kir unary as an ElemOp.
+func un(name string, op kir.Op) {
+	RegisterElemOp(ElemOp{Name: name, Arity: 1, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Unary(op, l[0])
+	}})
+}
+
+func init() {
+	bin("add", kir.OpAdd)
+	bin("sub", kir.OpSub)
+	bin("mul", kir.OpMul)
+	bin("div", kir.OpDiv)
+	bin("maximum", kir.OpMax)
+	bin("minimum", kir.OpMin)
+	bin("ge", kir.OpGE)
+	bin("le", kir.OpLE)
+
+	binC("addc", kir.OpAdd, false)
+	binC("subc", kir.OpSub, false)
+	binC("rsubc", kir.OpSub, true)
+	binC("mulc", kir.OpMul, false)
+	binC("divc", kir.OpDiv, false)
+	binC("rdivc", kir.OpDiv, true)
+	binC("powc", kir.OpPow, false)
+	binC("maxc", kir.OpMax, false)
+	binC("minc", kir.OpMin, false)
+	binC("gec", kir.OpGE, false)
+	binC("lec", kir.OpLE, false)
+
+	un("neg", kir.OpNeg)
+	un("abs", kir.OpAbs)
+	un("sqrt", kir.OpSqrt)
+	un("exp", kir.OpExp)
+	un("log", kir.OpLog)
+	un("erf", kir.OpErf)
+	un("sin", kir.OpSin)
+	un("cos", kir.OpCos)
+
+	RegisterElemOp(ElemOp{Name: "square", Arity: 1, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Binary(kir.OpMul, l[0], l[0])
+	}})
+	RegisterElemOp(ElemOp{Name: "copy", Arity: 1, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return l[0]
+	}})
+	RegisterElemOp(ElemOp{Name: "fill", Arity: 0, Consts: 1, Build: func(_ []*kir.Expr, c []float64) *kir.Expr {
+		return kir.Const(c[0])
+	}})
+	RegisterElemOp(ElemOp{Name: "where", Arity: 3, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Select(l[0], l[1], l[2])
+	}})
+	RegisterElemOp(ElemOp{Name: "clip", Arity: 1, Consts: 2, Build: func(l []*kir.Expr, c []float64) *kir.Expr {
+		return kir.Binary(kir.OpMin, kir.Binary(kir.OpMax, l[0], kir.Const(c[0])), kir.Const(c[1]))
+	}})
+	// fma(x, y, z) = x*y + z: the fused multiply-add that falls out of the
+	// registry (no dedicated emitter needed).
+	RegisterElemOp(ElemOp{Name: "fma", Arity: 3, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Binary(kir.OpAdd, kir.Binary(kir.OpMul, l[0], l[1]), l[2])
+	}})
+}
+
+// FMA returns a*b + c element-wise (scalar operands broadcast).
+func FMA(a, b, c *Array) *Array { return ApplyOp("fma", []*Array{a, b, c}) }
+
+// AddInto writes a + b into the destination view dst.
+func AddInto(dst, a, b *Array) { ApplyOpInto("add", dst, []*Array{a, b}) }
+
+// SubInto writes a - b into the destination view dst.
+func SubInto(dst, a, b *Array) { ApplyOpInto("sub", dst, []*Array{a, b}) }
+
+// MulInto writes a * b into the destination view dst.
+func MulInto(dst, a, b *Array) { ApplyOpInto("mul", dst, []*Array{a, b}) }
+
+// The AXPY-family solver kernels ("axpy", "axmy") are registered by
+// package sparse — the registry is shared across libraries, so sparse's
+// entries compose with these appliers exactly like cunum's own.

@@ -1,0 +1,82 @@
+package cunum
+
+import "diffuse/internal/ir"
+
+// Future is a deferred scalar read: a handle to one element of an array
+// whose producing tasks are still buffered in the session's fusion window.
+// Creating a future does not flush anything — the read chains into the
+// window like any other task consumer, so iterative solvers can route
+// `resid.Norm().Future()` through the stream and demand the value only
+// every K iterations. Calling Value forces exactly the dependency closure
+// of the element's store (Session.FlushStore) and caches the result.
+//
+// A future holds its own application reference on the backing store until
+// it is resolved or released, so the store outlives the array handle it
+// was created from. Like the context it came from, a Future must be used
+// from a single goroutine.
+type Future struct {
+	ctx   *Context
+	store *ir.Store
+	off   int
+	state futureState
+	value float64
+}
+
+type futureState int
+
+const (
+	futurePending futureState = iota
+	futureResolved
+	futureReleased
+)
+
+// Future returns a deferred read of one element of a — the element at idx,
+// or the view origin when idx is omitted (the only element, for the
+// shape-[1] scalars reductions produce). An ephemeral receiver is consumed:
+// `r.Norm().Future()` transfers the norm's only reference to the future.
+func (a *Array) Future(idx ...int) *Future {
+	st := a.st()
+	off := a.viewOffset(idx)
+	st.RetainApp()
+	f := &Future{ctx: a.ctx, store: st, off: off}
+	consume(a)
+	return f
+}
+
+// Value forces the tasks the future's element transitively depends on
+// (leaving unrelated buffered work pending), reads the element, releases
+// the future's store reference, and caches the result. ModeSim returns 0.
+func (f *Future) Value() float64 {
+	switch f.state {
+	case futureResolved:
+		return f.value
+	case futureReleased:
+		panic("cunum: Value on released future")
+	}
+	f.ctx.sess.FlushStore(f.store)
+	f.value = f.ctx.rt.Legion().ReadAt(f.store, f.off)
+	f.state = futureResolved
+	f.drop()
+	return f.value
+}
+
+// Resolved reports whether Value has already been forced.
+func (f *Future) Resolved() bool { return f.state == futureResolved }
+
+// Release drops an unresolved future without forcing it — solvers that
+// chain a fresh residual future every iteration release the stale one when
+// a newer value supersedes it. Releasing a resolved future is a no-op;
+// Value after Release panics.
+func (f *Future) Release() {
+	if f.state != futurePending {
+		return
+	}
+	f.state = futureReleased
+	f.drop()
+}
+
+// drop returns the future's store reference to the runtime.
+func (f *Future) drop() {
+	f.ctx.rt.ReleaseStore(f.store)
+	f.store = nil
+}

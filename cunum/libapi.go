@@ -32,7 +32,7 @@ func (a *Array) TileExt() []int { return a.tileExt() }
 func (c *Context) LaunchFor(rank int) ir.Rect { return c.launchFor(rank) }
 
 // Submit forwards a task to the Diffuse runtime.
-func (c *Context) Submit(t *ir.Task) { c.rt.Submit(t) }
+func (c *Context) Submit(t *ir.Task) { c.sess.Submit(t) }
 
 // Consume releases ephemeral operands after a library issued its task
 // reading them.

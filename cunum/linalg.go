@@ -22,6 +22,8 @@ var rows2dProj = ir.NewProjection("rows2d", func(p ir.Point) ir.Point {
 // is required, mirroring the Jacobi discussion in §7.1.
 func MatVec(A, x *Array) *Array {
 	c := A.ctx
+	A.st()
+	x.st()
 	if A.Rank() != 2 || x.Rank() != 1 {
 		panic("cunum: MatVec requires a 2-D matrix and 1-D vector")
 	}
@@ -50,7 +52,7 @@ func MatVec(A, x *Array) *Array {
 		X:      1,
 		Y:      2,
 	})
-	c.rt.Submit(&ir.Task{Name: "gemv", Launch: launch, Args: args, Kernel: k})
+	c.sess.Submit(&ir.Task{Name: "gemv", Launch: launch, Args: args, Kernel: k})
 	consume(dedup(A, x)...)
 	return y
 }

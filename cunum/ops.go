@@ -10,6 +10,7 @@ import (
 // and are loaded once per element with LoadScalar; everything else must
 // match out's view shape and is accessed through its Tiling partition.
 func (c *Context) emitMap(name string, out *Array, ins []*Array, build func(loads []*kir.Expr) *kir.Expr) {
+	out.st()
 	outScalar := out.IsScalar()
 	launch := c.launchFor(out.Rank())
 	if outScalar {
@@ -19,6 +20,7 @@ func (c *Context) emitMap(name string, out *Array, ins []*Array, build func(load
 	args := make([]ir.Arg, 0, len(ins)+1)
 	loads := make([]*kir.Expr, len(ins))
 	for i, in := range ins {
+		in.st()
 		switch {
 		case in.IsScalar():
 			args = append(args, ir.Arg{Store: in.store, Part: in.nonePart(launch), Priv: ir.Read})
@@ -47,28 +49,7 @@ func (c *Context) emitMap(name string, out *Array, ins []*Array, build func(load
 		Stmts:  []kir.Stmt{{Kind: kir.KStore, Param: outIdx, E: build(loads)}},
 	})
 
-	c.rt.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
-}
-
-// binary issues out = op(a, b) with broadcasting of scalar operands.
-func (a *Array) binary(name string, op kir.Op, b *Array) *Array {
-	shape := a.shape
-	base := a
-	if a.IsScalar() && !b.IsScalar() {
-		shape = b.shape
-		base = b
-	}
-	out := a.ctx.newEphemeralLike(base, shape, name)
-	a.ctx.emitMap(name, out, []*Array{a, b}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(op, l[0], l[1])
-	})
-	consume(dedup(a, b)...)
-	return out
-}
-
-// newEphemeralLike allocates an ephemeral result array.
-func (c *Context) newEphemeralLike(_ *Array, shape []int, name string) *Array {
-	return c.newArray(name, shape, true)
+	c.sess.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
 }
 
 func dedup(arrays ...*Array) []*Array {
@@ -83,124 +64,89 @@ func dedup(arrays ...*Array) []*Array {
 	return out
 }
 
-// binaryC issues out = op(a, const) (or op(const, a) when rev).
-func (a *Array) binaryC(name string, op kir.Op, cst float64, rev bool) *Array {
-	out := a.ctx.newArray(name, a.shape, true)
-	a.ctx.emitMap(name, out, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
-		if rev {
-			return kir.Binary(op, kir.Const(cst), l[0])
-		}
-		return kir.Binary(op, l[0], kir.Const(cst))
-	})
-	consume(a)
-	return out
-}
-
-// unary issues out = op(a).
-func (a *Array) unary(name string, op kir.Op) *Array {
-	out := a.ctx.newArray(name, a.shape, true)
-	a.ctx.emitMap(name, out, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Unary(op, l[0])
-	})
-	consume(a)
-	return out
-}
+// The named operator methods below are thin wrappers over the element-op
+// registry (elemops.go): each resolves its registered descriptor and goes
+// through the generic appliers, so cunum's operators, sparse's registered
+// kernels, and user-registered ops all share one emission path.
 
 // Add returns a + b (element-wise; scalar operands broadcast).
-func (a *Array) Add(b *Array) *Array { return a.binary("add", kir.OpAdd, b) }
+func (a *Array) Add(b *Array) *Array { return ApplyOp("add", []*Array{a, b}) }
 
 // Sub returns a - b.
-func (a *Array) Sub(b *Array) *Array { return a.binary("sub", kir.OpSub, b) }
+func (a *Array) Sub(b *Array) *Array { return ApplyOp("sub", []*Array{a, b}) }
 
 // Mul returns a * b.
-func (a *Array) Mul(b *Array) *Array { return a.binary("mul", kir.OpMul, b) }
+func (a *Array) Mul(b *Array) *Array { return ApplyOp("mul", []*Array{a, b}) }
 
 // Div returns a / b.
-func (a *Array) Div(b *Array) *Array { return a.binary("div", kir.OpDiv, b) }
+func (a *Array) Div(b *Array) *Array { return ApplyOp("div", []*Array{a, b}) }
 
 // Maximum returns max(a, b) element-wise.
-func (a *Array) Maximum(b *Array) *Array { return a.binary("maximum", kir.OpMax, b) }
+func (a *Array) Maximum(b *Array) *Array { return ApplyOp("maximum", []*Array{a, b}) }
 
 // Minimum returns min(a, b) element-wise.
-func (a *Array) Minimum(b *Array) *Array { return a.binary("minimum", kir.OpMin, b) }
+func (a *Array) Minimum(b *Array) *Array { return ApplyOp("minimum", []*Array{a, b}) }
 
 // AddC returns a + c.
-func (a *Array) AddC(c float64) *Array { return a.binaryC("addc", kir.OpAdd, c, false) }
+func (a *Array) AddC(c float64) *Array { return ApplyOp("addc", []*Array{a}, c) }
 
 // SubC returns a - c.
-func (a *Array) SubC(c float64) *Array { return a.binaryC("subc", kir.OpSub, c, false) }
+func (a *Array) SubC(c float64) *Array { return ApplyOp("subc", []*Array{a}, c) }
 
 // RSubC returns c - a.
-func (a *Array) RSubC(c float64) *Array { return a.binaryC("rsubc", kir.OpSub, c, true) }
+func (a *Array) RSubC(c float64) *Array { return ApplyOp("rsubc", []*Array{a}, c) }
 
 // MulC returns a * c.
-func (a *Array) MulC(c float64) *Array { return a.binaryC("mulc", kir.OpMul, c, false) }
+func (a *Array) MulC(c float64) *Array { return ApplyOp("mulc", []*Array{a}, c) }
 
 // DivC returns a / c.
-func (a *Array) DivC(c float64) *Array { return a.binaryC("divc", kir.OpDiv, c, false) }
+func (a *Array) DivC(c float64) *Array { return ApplyOp("divc", []*Array{a}, c) }
 
 // RDivC returns c / a.
-func (a *Array) RDivC(c float64) *Array { return a.binaryC("rdivc", kir.OpDiv, c, true) }
+func (a *Array) RDivC(c float64) *Array { return ApplyOp("rdivc", []*Array{a}, c) }
 
 // PowC returns a ** c.
-func (a *Array) PowC(c float64) *Array { return a.binaryC("powc", kir.OpPow, c, false) }
+func (a *Array) PowC(c float64) *Array { return ApplyOp("powc", []*Array{a}, c) }
 
 // MaximumC returns max(a, c).
-func (a *Array) MaximumC(c float64) *Array { return a.binaryC("maxc", kir.OpMax, c, false) }
+func (a *Array) MaximumC(c float64) *Array { return ApplyOp("maxc", []*Array{a}, c) }
 
 // MinimumC returns min(a, c).
-func (a *Array) MinimumC(c float64) *Array { return a.binaryC("minc", kir.OpMin, c, false) }
+func (a *Array) MinimumC(c float64) *Array { return ApplyOp("minc", []*Array{a}, c) }
 
 // Neg returns -a.
-func (a *Array) Neg() *Array { return a.unary("neg", kir.OpNeg) }
+func (a *Array) Neg() *Array { return ApplyOp("neg", []*Array{a}) }
 
 // Abs returns |a|.
-func (a *Array) Abs() *Array { return a.unary("abs", kir.OpAbs) }
+func (a *Array) Abs() *Array { return ApplyOp("abs", []*Array{a}) }
 
 // Sqrt returns sqrt(a).
-func (a *Array) Sqrt() *Array { return a.unary("sqrt", kir.OpSqrt) }
+func (a *Array) Sqrt() *Array { return ApplyOp("sqrt", []*Array{a}) }
 
 // Exp returns e**a.
-func (a *Array) Exp() *Array { return a.unary("exp", kir.OpExp) }
+func (a *Array) Exp() *Array { return ApplyOp("exp", []*Array{a}) }
 
 // Log returns ln(a).
-func (a *Array) Log() *Array { return a.unary("log", kir.OpLog) }
+func (a *Array) Log() *Array { return ApplyOp("log", []*Array{a}) }
 
 // Erf returns erf(a).
-func (a *Array) Erf() *Array { return a.unary("erf", kir.OpErf) }
+func (a *Array) Erf() *Array { return ApplyOp("erf", []*Array{a}) }
 
 // Sin returns sin(a).
-func (a *Array) Sin() *Array { return a.unary("sin", kir.OpSin) }
+func (a *Array) Sin() *Array { return ApplyOp("sin", []*Array{a}) }
 
 // Cos returns cos(a).
-func (a *Array) Cos() *Array { return a.unary("cos", kir.OpCos) }
+func (a *Array) Cos() *Array { return ApplyOp("cos", []*Array{a}) }
 
 // Square returns a*a.
-func (a *Array) Square() *Array {
-	out := a.ctx.newArray("square", a.shape, true)
-	a.ctx.emitMap("square", out, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(kir.OpMul, l[0], l[0])
-	})
-	consume(a)
-	return out
-}
+func (a *Array) Square() *Array { return ApplyOp("square", []*Array{a}) }
 
 // Assign copies src into the view a (the COPY task of Fig. 1). a is the
 // destination and is written through its own partition; src is read.
 // An ephemeral destination view is released after the copy is issued
 // (Python's anonymous-slice-assignment pattern).
-func (a *Array) Assign(src *Array) {
-	a.ctx.emitMap("copy", a, []*Array{src}, func(l []*kir.Expr) *kir.Expr {
-		return l[0]
-	})
-	consume(dedup(src, a)...)
-}
+func (a *Array) Assign(src *Array) { ApplyOpInto("copy", a, []*Array{src}) }
 
 // Fill overwrites the view with a constant. An ephemeral destination view
 // is released after the fill is issued.
-func (a *Array) Fill(v float64) {
-	a.ctx.emitMap("fill", a, nil, func([]*kir.Expr) *kir.Expr {
-		return kir.Const(v)
-	})
-	consume(a)
-}
+func (a *Array) Fill(v float64) { ApplyOpInto("fill", a, nil, v) }

@@ -18,7 +18,7 @@ func (c *Context) Arange(n int) *Array {
 		Ext:    a.tileExt(),
 		ExtRef: 0,
 	})
-	c.rt.Submit(&ir.Task{
+	c.sess.Submit(&ir.Task{
 		Name:   "arange",
 		Launch: launch,
 		Args:   []ir.Arg{{Store: a.store, Part: a.partition(), Priv: ir.Write}},
@@ -38,45 +38,23 @@ func (c *Context) Linspace(lo, hi float64, n int) *Array {
 }
 
 // Ge returns 1 where a >= b, else 0 (element-wise; scalars broadcast).
-func (a *Array) Ge(b *Array) *Array { return a.binary("ge", kir.OpGE, b) }
+func (a *Array) Ge(b *Array) *Array { return ApplyOp("ge", []*Array{a, b}) }
 
 // Le returns 1 where a <= b, else 0.
-func (a *Array) Le(b *Array) *Array { return a.binary("le", kir.OpLE, b) }
+func (a *Array) Le(b *Array) *Array { return ApplyOp("le", []*Array{a, b}) }
 
 // GeC returns 1 where a >= c, else 0.
-func (a *Array) GeC(c float64) *Array { return a.binaryC("gec", kir.OpGE, c, false) }
+func (a *Array) GeC(c float64) *Array { return ApplyOp("gec", []*Array{a}, c) }
 
 // LeC returns 1 where a <= c, else 0.
-func (a *Array) LeC(c float64) *Array { return a.binaryC("lec", kir.OpLE, c, false) }
+func (a *Array) LeC(c float64) *Array { return ApplyOp("lec", []*Array{a}, c) }
 
 // Where returns an array holding x where cond != 0 and y elsewhere
 // (numpy.where). Scalars broadcast.
-func Where(cond, x, y *Array) *Array {
-	ctx := cond.ctx
-	base := cond
-	for _, in := range []*Array{cond, x, y} {
-		if !in.IsScalar() {
-			base = in
-			break
-		}
-	}
-	out := ctx.newArray("where", base.shape, true)
-	ctx.emitMap("where", out, []*Array{cond, x, y}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Select(l[0], l[1], l[2])
-	})
-	consume(dedup(cond, x, y)...)
-	return out
-}
+func Where(cond, x, y *Array) *Array { return ApplyOp("where", []*Array{cond, x, y}) }
 
 // Clip returns a clamped into [lo, hi] (numpy.clip).
-func (a *Array) Clip(lo, hi float64) *Array {
-	out := a.ctx.newArray("clip", a.shape, true)
-	a.ctx.emitMap("clip", out, []*Array{a}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(kir.OpMin, kir.Binary(kir.OpMax, l[0], kir.Const(lo)), kir.Const(hi))
-	})
-	consume(a)
-	return out
-}
+func (a *Array) Clip(lo, hi float64) *Array { return ApplyOp("clip", []*Array{a}, lo, hi) }
 
 // axisReduce folds the last axis of a 2-D array into a 1-D result using
 // the given combiner. The matrix is read through a row-block partition
@@ -85,6 +63,7 @@ func (a *Array) Clip(lo, hi float64) *Array {
 // element-wise work.
 func (a *Array) axisReduce(name string, red kir.RedOp) *Array {
 	c := a.ctx
+	a.st()
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("cunum: %s requires a 2-D array", name))
 	}
@@ -107,7 +86,7 @@ func (a *Array) axisReduce(name string, red kir.RedOp) *Array {
 		Y:      1,
 		Red:    red,
 	})
-	c.rt.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
+	c.sess.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
 	consume(a)
 	return y
 }

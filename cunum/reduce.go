@@ -19,6 +19,7 @@ func (c *Context) emitReduce(name string, red ir.ReduceOp, kred kir.RedOp, ins [
 	args := make([]ir.Arg, 0, len(ins)+1)
 	loads := make([]*kir.Expr, len(ins))
 	for i, in := range ins {
+		in.st()
 		base.sameShape(in)
 		args = append(args, ir.Arg{Store: in.store, Part: in.partition(), Priv: ir.Read})
 		loads[i] = kir.Load(i)
@@ -34,7 +35,7 @@ func (c *Context) emitReduce(name string, red ir.ReduceOp, kred kir.RedOp, ins [
 		ExtRef: 0,
 		Stmts:  []kir.Stmt{{Kind: kir.KReduce, Param: outIdx, E: build(loads), Red: kred}},
 	})
-	c.rt.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
+	c.sess.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
 	consume(dedup(ins...)...)
 	return out
 }

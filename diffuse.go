@@ -12,9 +12,17 @@
 //	ctx := cunum.NewContext(rt)
 //	x := ctx.Random(1, 1<<20)
 //	y := x.MulC(2).AddC(1).Sqrt().Keep()   // one fused kernel, one pass
-//	ctx.Flush()
+//	nrm := y.Norm().Future()               // deferred read: nothing flushes
+//	fmt.Println(nrm.Value())               // forces only the norm's deps
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// Scalar read-backs are deferred: reductions return arrays that chain into
+// the task window, and Future handles force only their dependency closure
+// when the value is demanded — iterative solvers check convergence without
+// tearing the fusion window down. Concurrent submitters each open a
+// Session (rt.NewSession + cunum.NewSessionContext): one ordered task
+// stream and private fusion window per goroutine, over shared stores.
+//
+// See DESIGN.md for the architecture and internal/bench for the
 // reproduction of the paper's evaluation.
 package diffuse
 
@@ -36,6 +44,13 @@ type Config = core.Config
 
 // Stats exposes the runtime's accounting counters.
 type Stats = core.Stats
+
+// Session is one ordered task stream into a shared Runtime: each session
+// owns a private fusion window, so independent goroutines submit
+// concurrently without interleaving inside one another's windows. Create
+// one per goroutine with Runtime.NewSession and wrap it in a
+// cunum.NewSessionContext.
+type Session = core.Session
 
 // MachineConfig holds the simulated-cluster constants.
 type MachineConfig = machine.Config

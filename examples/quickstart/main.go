@@ -21,11 +21,12 @@ func main() {
 	z := x.MulC(2.0).Keep()
 	w := y.Add(z).Keep()
 	v := w.Square().Keep()
-	nrm := w.Slice([]int{1 << 15}, []int{0}).Temp().Norm().Keep()
-	ctx.Flush()
+	// The norm rides in the window as a future: nothing is flushed until
+	// the value is demanded, and then only its dependency closure.
+	nrm := w.Slice([]int{1 << 15}, []int{0}).Temp().Norm().Future()
 
 	fmt.Printf("v[0]     = %g (want 1)\n", v.Get(0))
-	fmt.Printf("||w[h:]|| = %g (want %g)\n", nrm.Scalar(), 181.01933598375618)
+	fmt.Printf("||w[h:]|| = %g (want %g)\n", nrm.Value(), 181.01933598375618)
 
 	st := rt.Stats()
 	fmt.Printf("\nDiffuse: %d tasks submitted -> %d executed (%d fusions covering %d tasks, %d temporaries eliminated)\n",
@@ -35,5 +36,4 @@ func main() {
 	z.Free()
 	w.Free()
 	v.Free()
-	nrm.Free()
 }

@@ -1,0 +1,3 @@
+module diffuse
+
+go 1.24

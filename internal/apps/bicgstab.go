@@ -89,9 +89,36 @@ func (s *BiCGSTAB) Iterate(n int) {
 	}
 }
 
-// ResidualNorm returns ||r|| (ModeReal).
+// ResidualFuture chains ||r|| into the task window and returns a deferred
+// read of it.
+func (s *BiCGSTAB) ResidualFuture() *cunum.Future {
+	return s.R.Norm().Future()
+}
+
+// Solve iterates until ||r|| <= tol or maxIter iterations, checking
+// convergence via futures every checkEvery iterations without tearing the
+// fusion window down mid-stream. The norm chain is only submitted on check
+// iterations — on the others no residual tasks ride along at all. Returns
+// the iterations run and the last observed residual.
+func (s *BiCGSTAB) Solve(tol float64, maxIter, checkEvery int) (iters int, resid float64) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	for i := 1; i <= maxIter; i++ {
+		s.Step()
+		if i%checkEvery == 0 || i == maxIter {
+			resid = s.ResidualFuture().Value()
+			if resid <= tol {
+				s.ctx.Flush()
+				return i, resid
+			}
+		}
+	}
+	s.ctx.Flush()
+	return maxIter, resid
+}
+
+// ResidualNorm returns ||r|| through a future (ModeReal).
 func (s *BiCGSTAB) ResidualNorm() float64 {
-	nrm := s.R.Norm().Keep()
-	defer nrm.Free()
-	return nrm.Scalar()
+	return s.ResidualFuture().Value()
 }

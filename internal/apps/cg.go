@@ -1,8 +1,9 @@
 package apps
 
 import (
+	"math"
+
 	"diffuse/cunum"
-	"diffuse/internal/kir"
 	"diffuse/sparse"
 )
 
@@ -77,24 +78,19 @@ func (cg *CG) stepNatural() {
 }
 
 // stepManual is the hand-optimized variant: fused AXPY kernels written as
-// single tasks (the VecAXPY-style kernels of hand-tuned solvers).
+// single tasks (the VecAXPY-style kernels of hand-tuned solvers), drawn
+// from the shared element-op registry sparse registers into.
 func (cg *CG) stepManual() {
 	Ap := cg.A.SpMV(cg.P).Keep()
 	pAp := cg.P.Dot(Ap).Keep()
 	alpha := cg.RSold.Div(pAp).Keep()
 
 	// x' = x + alpha*p and r' = r - alpha*Ap, one task each.
-	xNew := cunum.Compute("axpy", []*cunum.Array{cg.X, cg.P, alpha}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(kir.OpAdd, l[0], kir.Binary(kir.OpMul, l[2], l[1]))
-	}).Keep()
-	rNew := cunum.Compute("axmy", []*cunum.Array{cg.R, Ap, alpha}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(kir.OpSub, l[0], kir.Binary(kir.OpMul, l[2], l[1]))
-	}).Keep()
+	xNew := sparse.Axpy(cg.X, cg.P, alpha).Keep()
+	rNew := sparse.Axmy(cg.R, Ap, alpha).Keep()
 	rsNew := rNew.Dot(rNew).Keep()
 	beta := rsNew.Div(cg.RSold).Keep()
-	pNew := cunum.Compute("xpby", []*cunum.Array{rNew, cg.P, beta}, func(l []*kir.Expr) *kir.Expr {
-		return kir.Binary(kir.OpAdd, l[0], kir.Binary(kir.OpMul, l[2], l[1]))
-	}).Keep()
+	pNew := sparse.Axpy(rNew, cg.P, beta).Keep()
 
 	cg.X.Free()
 	cg.R.Free()
@@ -118,9 +114,92 @@ func (cg *CG) Iterate(n int) {
 	}
 }
 
-// ResidualNorm returns ||r|| (ModeReal).
+// ResidualFuture chains ||r|| into the task window and returns a deferred
+// read of it: nothing is flushed until the future's Value is demanded.
+func (cg *CG) ResidualFuture() *cunum.Future {
+	return cg.R.Norm().Future()
+}
+
+// Solve iterates until ||r|| <= tol or maxIter iterations, checking
+// convergence through the deferred-read future API. The textbook CG checks
+// the residual right after updating r — mid-way through the iteration's
+// fusible run of element-wise tasks. Here a future captures the
+// iteration's own ||r'||^2 at that program point (no extra tasks), its
+// value is demanded only at iteration boundaries every checkEvery
+// iterations, and the square root runs on the host. The run stays whole
+// and fuses — the pattern the v1 eager Scalar API made impossible.
+// Returns the iterations run and the last observed residual.
+func (cg *CG) Solve(tol float64, maxIter, checkEvery int) (iters int, resid float64) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	resid = math.NaN()
+	var fut *cunum.Future
+	for i := 1; i <= maxIter; i++ {
+		cg.Step()
+		// The step already computed this iteration's ||r'||^2 into RSold
+		// (the kept rsNew): the future reads it with zero extra tasks in
+		// the stream, and holds its own reference so the next step's
+		// Free of RSold cannot invalidate it.
+		if fut != nil {
+			fut.Release() // superseded by this iteration's residual
+		}
+		fut = cg.RSold.Future()
+		if i%checkEvery == 0 || i == maxIter {
+			resid = math.Sqrt(fut.Value())
+			if resid <= tol {
+				cg.ctx.Flush()
+				return i, resid
+			}
+		}
+	}
+	cg.ctx.Flush()
+	return maxIter, resid
+}
+
+// SolveEager is the same solver under the v1 pathology, kept for the
+// regression test and benchmarks: the residual norm is read eagerly at the
+// textbook check point, forcing a full window flush mid-iteration that
+// splits the fusible run of element-wise tasks in two. The iteration body
+// is inlined deliberately — the point of this variant is the placement of
+// the read inside the step, which Step() cannot express.
+func (cg *CG) SolveEager(tol float64, maxIter int) (iters int, resid float64) {
+	resid = math.NaN()
+	for i := 1; i <= maxIter; i++ {
+		Ap := cg.A.SpMV(cg.P).Keep()
+		pAp := cg.P.Dot(Ap).Keep()
+		alpha := cg.RSold.Div(pAp).Keep()
+		xNew := cg.X.Add(cg.P.Mul(alpha)).Keep()
+		rNew := cg.R.Sub(Ap.Mul(alpha)).Keep()
+		// Textbook convergence point, v1 idiom: the library norm call
+		// (dot + sqrt), read eagerly — the full flush lands mid-way
+		// through the iteration's fusible run.
+		nrm := rNew.Norm().Keep()
+		cg.ctx.Flush()
+		resid = nrm.Scalar()
+		nrm.Free()
+		rsNew := rNew.Dot(rNew).Keep()
+		beta := rsNew.Div(cg.RSold).Keep()
+		pNew := rNew.Add(cg.P.Mul(beta)).Keep()
+
+		cg.X.Free()
+		cg.R.Free()
+		cg.P.Free()
+		cg.RSold.Free()
+		Ap.Free()
+		pAp.Free()
+		alpha.Free()
+		beta.Free()
+		cg.X, cg.R, cg.P, cg.RSold = xNew, rNew, pNew, rsNew
+
+		if resid <= tol {
+			return i, resid
+		}
+	}
+	return maxIter, resid
+}
+
+// ResidualNorm returns ||r|| through a future (ModeReal).
 func (cg *CG) ResidualNorm() float64 {
-	nrm := cg.R.Norm().Keep()
-	defer nrm.Free()
-	return nrm.Scalar()
+	return cg.ResidualFuture().Value()
 }

@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"diffuse/internal/core"
+)
+
+// fusedRatio is FusedOriginals/Submitted: the fraction of submitted tasks
+// that ended up folded into fusions.
+func fusedRatio(st core.Stats) float64 {
+	return float64(st.FusedOriginals) / float64(st.Submitted)
+}
+
+// TestCGFutureConvergencePreservesFusion is the acceptance test of the
+// deferred-execution API: a CG solve whose per-iteration convergence check
+// goes through the future API must emit strictly fewer unfused tasks
+// (higher FusedOriginals/Submitted) than the same solve using the v1 eager
+// Scalar() read-back, while producing the same numerics.
+func TestCGFutureConvergencePreservesFusion(t *testing.T) {
+	const (
+		n       = 12
+		maxIter = 30
+		tol     = 0 // never reached: both variants run all iterations
+	)
+	run := func(eager bool) (core.Stats, float64, []float64) {
+		ctx := ctxWith(t, true, 4)
+		A := BuildPoisson2D(ctx, n)
+		b := ctx.Ones(A.Rows())
+		cg := NewCG(ctx, A, b, false)
+		var resid float64
+		if eager {
+			_, resid = cg.SolveEager(tol, maxIter)
+		} else {
+			_, resid = cg.Solve(tol, maxIter, 5)
+		}
+		return ctx.Runtime().Stats(), resid, cg.X.ToHost()
+	}
+
+	futStats, futResid, futX := run(false)
+	eagStats, eagResid, eagX := run(true)
+
+	if math.Abs(futResid-eagResid)/eagResid > 1e-10 {
+		t.Fatalf("residuals diverged: future %g vs eager %g", futResid, eagResid)
+	}
+	sliceAlmostEq(t, futX, eagX, 1e-10, "future vs eager solution")
+
+	fr, er := fusedRatio(futStats), fusedRatio(eagStats)
+	if fr <= er {
+		t.Fatalf("future-based convergence must fuse strictly better: future %.3f (%+v) vs eager %.3f (%+v)",
+			fr, futStats, er, eagStats)
+	}
+	// The future path must also emit strictly fewer tasks overall for an
+	// equal amount of submitted solver work.
+	if futStats.Emitted >= eagStats.Emitted {
+		t.Fatalf("future path emitted %d tasks, eager %d", futStats.Emitted, eagStats.Emitted)
+	}
+}
+
+// TestCGSolveConverges: the future-driven Solve actually detects
+// convergence and stops early.
+func TestCGSolveConverges(t *testing.T) {
+	ctx := ctxWith(t, true, 4)
+	A := BuildPoisson2D(ctx, 12)
+	b := ctx.Ones(A.Rows())
+	cg := NewCG(ctx, A, b, false)
+	iters, resid := cg.Solve(1e-8, 500, 4)
+	if iters >= 500 {
+		t.Fatalf("CG did not converge: %d iterations, resid %g", iters, resid)
+	}
+	if resid > 1e-8 {
+		t.Fatalf("reported residual %g above tolerance", resid)
+	}
+	// The reported residual must agree with a fresh read.
+	if got := cg.ResidualNorm(); math.Abs(got-resid)/(1+resid) > 1e-12 {
+		t.Fatalf("ResidualNorm %g != Solve residual %g", got, resid)
+	}
+}
+
+// TestBiCGSTABSolveConverges exercises the future-driven BiCGSTAB Solve.
+func TestBiCGSTABSolveConverges(t *testing.T) {
+	ctx := ctxWith(t, true, 4)
+	A := BuildPoisson2D(ctx, 12)
+	b := ctx.Ones(A.Rows())
+	s := NewBiCGSTAB(ctx, A, b)
+	iters, resid := s.Solve(1e-8, 500, 3)
+	if iters >= 500 || resid > 1e-8 {
+		t.Fatalf("BiCGSTAB did not converge: %d iterations, resid %g", iters, resid)
+	}
+}
+
+// TestJacobiSolveConverges exercises the future-driven Jacobi Solve.
+func TestJacobiSolveConverges(t *testing.T) {
+	ctx := ctxWith(t, true, 4)
+	j := NewJacobi(ctx, 16)
+	iters, resid := j.Solve(1e-8, 200, 10)
+	if iters >= 200 || resid > 1e-8 {
+		t.Fatalf("Jacobi did not converge: %d sweeps, resid %g", iters, resid)
+	}
+}

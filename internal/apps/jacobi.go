@@ -1,6 +1,10 @@
 package apps
 
-import "diffuse/cunum"
+import (
+	"math"
+
+	"diffuse/cunum"
+)
 
 // Jacobi is the dense Jacobi-iteration micro-benchmark (§7.1, Fig. 10b):
 // one dense matrix-vector product plus two fusible vector operations that
@@ -63,18 +67,43 @@ func (j *Jacobi) Iterate(n int) {
 	}
 }
 
-// Residual returns ||b - (A + 2I - A_diag-correction)... — for testing we
-// check the fixed point equation directly: ||b - A@x - 2x|| / ||b||.
-// ModeReal only.
-func (j *Jacobi) Residual() float64 {
+// ResidualFuture chains the fixed-point residual norm ||b - A@x - 2x||
+// into the task window and returns a deferred read of it.
+func (j *Jacobi) ResidualFuture() *cunum.Future {
 	ax := cunum.MatVec(j.A, j.X)
 	diag := j.X.MulC(2)
-	r := j.B.Sub(ax).Sub(diag).Keep()
-	nrm := r.Norm().Keep()
-	bn := j.B.Norm().Keep()
-	v := nrm.Scalar() / bn.Scalar()
-	r.Free()
-	nrm.Free()
-	bn.Free()
-	return v
+	return j.B.Sub(ax).Sub(diag).Norm().Future()
+}
+
+// Solve runs Jacobi sweeps until the relative residual drops below tol or
+// maxIter sweeps elapse, chaining the residual check into the window via a
+// future every checkEvery sweeps. Returns sweeps run and the last observed
+// relative residual.
+func (j *Jacobi) Solve(tol float64, maxIter, checkEvery int) (iters int, resid float64) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	bn := math.NaN()
+	resid = math.NaN()
+	for i := 1; i <= maxIter; i++ {
+		j.Step()
+		if i%checkEvery == 0 || i == maxIter {
+			if math.IsNaN(bn) {
+				bn = j.B.Norm().Future().Value()
+			}
+			resid = j.ResidualFuture().Value() / bn
+			if resid <= tol {
+				return i, resid
+			}
+		}
+	}
+	return maxIter, resid
+}
+
+// Residual returns the relative fixed-point residual ||b - A@x - 2x|| /
+// ||b|| through futures. ModeReal only.
+func (j *Jacobi) Residual() float64 {
+	rf := j.ResidualFuture()
+	bf := j.B.Norm().Future()
+	return rf.Value() / bf.Value()
 }

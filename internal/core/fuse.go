@@ -38,12 +38,30 @@ type memoEntry struct {
 	plan *fusionPlan
 }
 
-// analyze returns the fusion plan for the current window, consulting the
-// memo table keyed by the window's canonical form.
-func (r *Runtime) analyze() *fusionPlan {
+// analyze returns the fusion plan for a session's window, consulting the
+// memo table keyed by the window's canonical form. pinned stores (touched
+// by tasks deferred out of the window during a partial flush, or
+// referenced by another session's buffered tasks) are classified as live —
+// both in the canonical key and, below, for temporary-store elimination.
+// Callers hold r.mu.
+func (r *Runtime) analyze(window []*ir.Task, pinned map[ir.StoreID]bool) *fusionPlan {
+	pinned = withExternalRefs(window, pinned)
+	// Snapshot liveness once per store: ReleaseApp is an atomic another
+	// goroutine may flip at any time, and the memo key and temp
+	// elimination must agree on what they saw — a key minted as "live"
+	// caching a plan computed against "dead" would poison the memo table.
+	live := make(map[ir.StoreID]bool)
+	for _, t := range window {
+		for _, a := range t.Args {
+			id := a.Store.ID()
+			if _, seen := live[id]; !seen {
+				live[id] = a.Store.AppLive() || pinned[id]
+			}
+		}
+	}
 	if !r.cfg.NoMemo {
-		key := ir.Canonicalize(r.window, func(s *ir.Store) string {
-			if s.AppLive() {
+		key := ir.Canonicalize(window, func(s *ir.Store) string {
+			if live[s.ID()] {
 				return "live"
 			}
 			return "dead"
@@ -52,23 +70,54 @@ func (r *Runtime) analyze() *fusionPlan {
 			r.stats.MemoHits++
 			return e.plan
 		}
-		plan := r.computePlan()
+		plan := r.computePlan(window, live)
 		r.memo[key] = &memoEntry{plan: plan}
 		r.stats.MemoMisses++
 		return plan
 	}
-	return r.computePlan()
+	return r.computePlan(window, live)
+}
+
+// withExternalRefs extends pinned with stores whose runtime reference
+// count exceeds the references held by this window's own tasks: stores are
+// shared across sessions, so the surplus belongs to another session's
+// still-buffered tasks, and eliminating such a store as a temporary would
+// hand that session a freshly zeroed region. Runtime references are only
+// released during emission, which callers serialize under r.mu, so the
+// surplus can never be an undercount.
+func withExternalRefs(window []*ir.Task, pinned map[ir.StoreID]bool) map[ir.StoreID]bool {
+	counts := map[*ir.Store]int64{}
+	for _, t := range window {
+		for _, a := range t.Args {
+			counts[a.Store]++
+		}
+	}
+	out := make(map[ir.StoreID]bool, len(pinned))
+	for id, v := range pinned {
+		if v {
+			out[id] = true
+		}
+	}
+	for s, n := range counts {
+		if s.RuntimeRefs() > n {
+			out[s.ID()] = true
+		}
+	}
+	return out
 }
 
 // computePlan runs the full analysis: fusible prefix, argument merging,
-// temporary-store elimination, kernel composition and optimization.
-func (r *Runtime) computePlan() *fusionPlan {
-	plan := &fusionPlan{prefixLen: fusiblePrefix(r.window)}
+// temporary-store elimination, kernel composition and optimization. live
+// is the snapshot taken by analyze: stores the application references,
+// plus pinned ones (deferred readers in this session or buffered tasks in
+// another).
+func (r *Runtime) computePlan(window []*ir.Task, live map[ir.StoreID]bool) *fusionPlan {
+	plan := &fusionPlan{prefixLen: fusiblePrefix(window)}
 	if plan.prefixLen <= 1 {
 		return plan
 	}
-	prefix := r.window[:plan.prefixLen]
-	suffix := r.window[plan.prefixLen:]
+	prefix := window[:plan.prefixLen]
+	suffix := window[plan.prefixLen:]
 
 	// Merge arguments: one fused parameter per distinct (store, partition),
 	// with privileges promoted (R+W -> RW; paper §4.2.2).
@@ -104,7 +153,7 @@ func (r *Runtime) computePlan() *fusionPlan {
 	// reference. Reduction targets keep their regions (reduction cells
 	// survive the task).
 	if !r.cfg.NoTempElim {
-		r.findTemps(plan, prefix, suffix)
+		r.findTemps(plan, prefix, suffix, live)
 	}
 
 	// Compose and optimize the fused kernel (Fig. 8).
@@ -149,8 +198,9 @@ func (r *Runtime) computePlan() *fusionPlan {
 	return plan
 }
 
-// findTemps marks fused parameters whose stores satisfy Definition 4.
-func (r *Runtime) findTemps(plan *fusionPlan, prefix, suffix []*ir.Task) {
+// findTemps marks fused parameters whose stores satisfy Definition 4,
+// consulting the liveness snapshot taken with the memo key.
+func (r *Runtime) findTemps(plan *fusionPlan, prefix, suffix []*ir.Task, live map[ir.StoreID]bool) {
 	// Per store: scan the prefix in program order.
 	type state struct {
 		coveredBy ir.Partition // partition of a covering write seen so far
@@ -202,10 +252,7 @@ func (r *Runtime) findTemps(plan *fusionPlan, prefix, suffix []*ir.Task) {
 		if x.coveredBy == nil {
 			continue // never produced inside the fusion
 		}
-		if suffixReads[s.ID()] {
-			continue
-		}
-		if s.AppLive() {
+		if suffixReads[s.ID()] || live[s.ID()] {
 			continue
 		}
 		p.temp = true

@@ -8,9 +8,17 @@
 // the optimized composition of the prefix's kernels, eliminates distributed
 // temporaries (Def. 4), and memoizes the whole analysis over isomorphic
 // task streams (§5.2) before forwarding tasks to the runtime.
+//
+// Submission happens through Sessions: each Session owns an ordered task
+// stream with its own fusion window, while all sessions share one store
+// namespace, memo table, and executor. A Runtime embeds a default session
+// so single-stream programs can keep calling Runtime.Submit / Runtime.Flush
+// directly; concurrent submitters create one Session per goroutine with
+// NewSession.
 package core
 
 import (
+	"sync"
 	"time"
 
 	"diffuse/internal/ir"
@@ -75,19 +83,24 @@ type Stats struct {
 	MemoMisses      int64
 	KernelsCompiled int64
 	CompileSeconds  float64 // real (wall-clock) JIT time spent
-	WindowSize      int     // current adaptive window size
+	WindowSize      int     // adaptive window size (most recently processed session)
 	WindowGrowths   int64
 }
 
-// Runtime is a Diffuse instance.
+// Runtime is a Diffuse instance. All shared state (the memo table, the
+// accounting counters, the emission order into the underlying runtime) is
+// guarded by mu, so any number of Sessions may submit concurrently.
 type Runtime struct {
-	cfg    Config
-	leg    *legion.Runtime
-	fact   ir.Factory
-	window []*ir.Task
-	memo   map[string]*memoEntry
-	seq    int64
-	stats  Stats
+	cfg  Config
+	leg  *legion.Runtime
+	fact ir.Factory
+
+	mu    sync.Mutex // guards seq, memo, stats, and task emission
+	memo  map[string]*memoEntry
+	seq   int64
+	stats Stats
+
+	def *Session // default session backing Runtime.Submit / Runtime.Flush
 }
 
 // New creates a Diffuse runtime.
@@ -104,6 +117,7 @@ func New(cfg Config) *Runtime {
 		memo: map[string]*memoEntry{},
 	}
 	r.stats.WindowSize = cfg.InitialWindow
+	r.def = r.NewSession()
 	return r
 }
 
@@ -117,12 +131,17 @@ func (r *Runtime) Legion() *legion.Runtime { return r.leg }
 func (r *Runtime) Factory() *ir.Factory { return &r.fact }
 
 // Stats returns a snapshot of the accounting counters.
-func (r *Runtime) Stats() Stats { return r.stats }
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Procs returns the number of processors tasks are decomposed over.
 func (r *Runtime) Procs() int { return r.cfg.Machine.GPUs }
 
-// NewStore allocates a store with one application reference.
+// NewStore allocates a store with one application reference. Stores are
+// shared across sessions: any session may submit tasks against any store.
 func (r *Runtime) NewStore(name string, shape []int) *ir.Store {
 	return r.fact.NewStore(name, shape)
 }
@@ -137,42 +156,22 @@ func (r *Runtime) ReleaseStore(s *ir.Store) {
 	}
 }
 
-// Submit hands a task to Diffuse. The task enters the window; windows are
-// analyzed when full. Submission retains runtime references on all
-// argument stores until the task has executed.
-func (r *Runtime) Submit(t *ir.Task) {
-	r.seq++
-	t.Seq = r.seq
-	for _, a := range t.Args {
-		a.Store.RetainRuntime()
-	}
-	r.stats.Submitted++
+// DefaultSession returns the session backing Runtime.Submit/Flush.
+func (r *Runtime) DefaultSession() *Session { return r.def }
 
-	if !r.cfg.Enabled {
-		r.emit(t, []*ir.Task{t})
-		return
-	}
-	// Process a full window before admitting the new task: deferring
-	// processing to the next submission lets the issuing library release
-	// its ephemeral handles first, so the liveness information consumed by
-	// temporary-store elimination (Def. 4, condition 3) is up to date —
-	// the moral equivalent of Python refcounts having settled.
-	for len(r.window) >= r.stats.WindowSize {
-		r.processOnce()
-	}
-	r.window = append(r.window, t)
-}
+// Submit hands a task to the default session's window.
+func (r *Runtime) Submit(t *ir.Task) { r.def.Submit(t) }
 
-// Flush drains the window, analyzing and emitting everything buffered
-// (the flush_window of Fig. 6).
-func (r *Runtime) Flush() {
-	for len(r.window) > 0 {
-		r.processOnce()
-	}
-}
+// Flush drains the default session's window.
+func (r *Runtime) Flush() { r.def.Flush() }
+
+// FlushStore forces, on the default session, only the buffered tasks the
+// given store transitively depends on.
+func (r *Runtime) FlushStore(s *ir.Store) { r.def.FlushStore(s) }
 
 // emit forwards a task to the runtime and settles reference counts for the
-// original tasks it stands for.
+// original tasks it stands for. Callers hold r.mu, which serializes the
+// emission order across sessions.
 func (r *Runtime) emit(t *ir.Task, origs []*ir.Task) {
 	r.leg.Execute(t)
 	r.stats.Emitted++
@@ -187,36 +186,6 @@ func (r *Runtime) emit(t *ir.Task, origs []*ir.Task) {
 				r.leg.FreeStore(a.Store.ID())
 			}
 		}
-	}
-}
-
-// processOnce analyzes the current window, emits its fusible prefix (fused
-// when longer than one task), and grows the window when everything fused.
-func (r *Runtime) processOnce() {
-	if len(r.window) == 0 {
-		return
-	}
-	plan := r.analyze()
-	prefix := r.window[:plan.prefixLen]
-
-	if plan.prefixLen == 1 {
-		r.emit(prefix[0], prefix)
-	} else {
-		fused := r.buildFused(plan, prefix)
-		r.emit(fused, prefix)
-	}
-	r.window = append(r.window[:0], r.window[plan.prefixLen:]...)
-
-	// Adaptive window sizing: if the entire window fused, a larger window
-	// might fuse more (§7: window sizes were selected automatically by
-	// Diffuse through a process that increases the window size when all
-	// tasks in the current window were fused).
-	if plan.prefixLen >= r.stats.WindowSize && r.stats.WindowSize < r.cfg.MaxWindow {
-		r.stats.WindowSize *= 2
-		if r.stats.WindowSize > r.cfg.MaxWindow {
-			r.stats.WindowSize = r.cfg.MaxWindow
-		}
-		r.stats.WindowGrowths++
 	}
 }
 

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"diffuse/internal/ir"
+)
+
+// Session is one ordered task stream into a Diffuse runtime. Each session
+// owns a private fusion window (buffered tasks and its adaptive size), so
+// concurrent submitters do not interleave inside one another's windows —
+// interleaved streams would rarely fuse, since the fusible-prefix analysis
+// is order-sensitive. All sessions share the runtime's stores, memo table,
+// statistics, and executor; those are synchronized by the runtime.
+//
+// A Session's methods must be called from a single goroutine (or otherwise
+// externally serialized); distinct Sessions may be used concurrently.
+//
+// Coherence contract: flushes (including the implicit ones behind scalar
+// reads and futures) drain only the issuing session's window. Data one
+// session produces becomes visible to other sessions once the producer has
+// flushed (or a future forced) the producing tasks — exactly the stream
+// semantics of CUDA streams or Legion's subtasks. Reading a store whose
+// producer is still buffered in another session returns the store's prior
+// contents.
+type Session struct {
+	rt         *Runtime
+	window     []*ir.Task
+	windowSize int
+	// pinned marks stores touched by tasks deferred during a partial flush
+	// (FlushStore). The fusion analysis must treat them as live: Def. 4's
+	// "no pending reader" condition reaches beyond the window being drained
+	// into the re-buffered remainder.
+	pinned map[ir.StoreID]bool
+}
+
+// NewSession creates an independent submission stream over the runtime's
+// shared stores. Every session starts with the configured initial window
+// size and grows it independently.
+func (r *Runtime) NewSession() *Session {
+	return &Session{rt: r, windowSize: r.cfg.InitialWindow}
+}
+
+// Runtime returns the owning Diffuse runtime.
+func (s *Session) Runtime() *Runtime { return s.rt }
+
+// Pending returns the number of tasks buffered in this session's window.
+func (s *Session) Pending() int { return len(s.window) }
+
+// Submit hands a task to Diffuse. The task enters this session's window;
+// windows are analyzed when full. Submission retains runtime references on
+// all argument stores until the task has executed.
+func (s *Session) Submit(t *ir.Task) {
+	r := s.rt
+	r.mu.Lock()
+	r.seq++
+	t.Seq = r.seq
+	r.stats.Submitted++
+	r.mu.Unlock()
+	for _, a := range t.Args {
+		a.Store.RetainRuntime()
+	}
+
+	if !r.cfg.Enabled {
+		r.mu.Lock()
+		r.emit(t, []*ir.Task{t})
+		r.mu.Unlock()
+		return
+	}
+	// Process a full window before admitting the new task: deferring
+	// processing to the next submission lets the issuing library release
+	// its ephemeral handles first, so the liveness information consumed by
+	// temporary-store elimination (Def. 4, condition 3) is up to date —
+	// the moral equivalent of Python refcounts having settled.
+	for len(s.window) >= s.windowSize {
+		s.processOnce()
+	}
+	s.window = append(s.window, t)
+}
+
+// Flush drains the window, analyzing and emitting everything buffered
+// (the flush_window of Fig. 6).
+func (s *Session) Flush() {
+	for len(s.window) > 0 {
+		s.processOnce()
+	}
+}
+
+// FlushStore forces only the buffered tasks that the contents of the given
+// store transitively depend on, leaving independent work buffered. This is
+// what makes deferred scalar reads (cunum.Future) cheap: demanding a
+// convergence value mid-stream drains the residual's producer chain without
+// tearing down the rest of the window.
+//
+// The dependence closure is computed conservatively — walking the window
+// backwards, a task joins the closure if it touches any store already known
+// to feed the target, and then contributes all of its own argument stores.
+// Every true, anti, and output dependence predecessor of the closure is
+// therefore inside the closure, so emitting it as an in-order subsequence
+// and re-buffering the remainder preserves program semantics.
+func (s *Session) FlushStore(st *ir.Store) {
+	if len(s.window) == 0 {
+		return
+	}
+	needed := map[ir.StoreID]bool{st.ID(): true}
+	mark := make([]bool, len(s.window))
+	n := 0
+	for i := len(s.window) - 1; i >= 0; i-- {
+		t := s.window[i]
+		touches := false
+		for _, a := range t.Args {
+			if needed[a.Store.ID()] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		mark[i] = true
+		n++
+		for _, a := range t.Args {
+			needed[a.Store.ID()] = true
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if n == len(s.window) {
+		s.Flush()
+		return
+	}
+	deps := make([]*ir.Task, 0, n)
+	rest := make([]*ir.Task, 0, len(s.window)-n)
+	for i, t := range s.window {
+		if mark[i] {
+			deps = append(deps, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	// Every store the deferred remainder touches must survive the drain:
+	// temporary-store elimination inside the deps stream would otherwise
+	// demote a store some deferred task still reads into a task-local
+	// buffer, silently corrupting the deferred computation.
+	pinned := make(map[ir.StoreID]bool)
+	for _, t := range rest {
+		for _, a := range t.Args {
+			pinned[a.Store.ID()] = true
+		}
+	}
+	s.window = deps
+	s.pinned = pinned
+	s.Flush()
+	s.pinned = nil
+	s.window = append(s.window, rest...)
+}
+
+// processOnce analyzes the current window, emits its fusible prefix (fused
+// when longer than one task), and grows the window when everything fused.
+func (s *Session) processOnce() {
+	if len(s.window) == 0 {
+		return
+	}
+	r := s.rt
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	plan := r.analyze(s.window, s.pinned)
+	prefix := s.window[:plan.prefixLen]
+
+	if plan.prefixLen == 1 {
+		r.emit(prefix[0], prefix)
+	} else {
+		fused := r.buildFused(plan, prefix)
+		r.emit(fused, prefix)
+	}
+	s.window = append(s.window[:0], s.window[plan.prefixLen:]...)
+
+	// Adaptive window sizing: if the entire window fused, a larger window
+	// might fuse more (§7: window sizes were selected automatically by
+	// Diffuse through a process that increases the window size when all
+	// tasks in the current window were fused).
+	if plan.prefixLen >= s.windowSize && s.windowSize < r.cfg.MaxWindow {
+		s.windowSize *= 2
+		if s.windowSize > r.cfg.MaxWindow {
+			s.windowSize = r.cfg.MaxWindow
+		}
+		r.stats.WindowGrowths++
+	}
+	r.stats.WindowSize = s.windowSize
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"diffuse/internal/ir"
+)
+
+// chainTask builds the elem task next = f(prev) over the standard fixture
+// tiling.
+func chainTask(r *Runtime, prev, next *ir.Store) *ir.Task {
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{4})
+	tile := func() ir.Partition { return ir.NewTiling(launch, []int{16}, []int{4}, []int{0}, nil, nil) }
+	return &ir.Task{Name: "f", Launch: launch, Kernel: elemKernel(2, 1),
+		Args: []ir.Arg{{Store: prev, Part: tile(), Priv: ir.Read}, {Store: next, Part: tile(), Priv: ir.Write}}}
+}
+
+// TestFlushStoreForcesOnlyDependencyClosure submits two independent chains
+// and partially flushes one: only its tasks may be emitted, the other chain
+// must stay buffered.
+func TestFlushStoreForcesOnlyDependencyClosure(t *testing.T) {
+	r := newTestRuntime(true)
+	s := r.DefaultSession()
+
+	a0 := r.NewStore("a0", []int{16})
+	a1 := r.NewStore("a1", []int{16})
+	b0 := r.NewStore("b0", []int{16})
+	b1 := r.NewStore("b1", []int{16})
+	s.Submit(chainTask(r, a0, a1))
+	s.Submit(chainTask(r, b0, b1))
+
+	if got := r.Stats().Emitted; got != 0 {
+		t.Fatalf("nothing should have been emitted yet, got %d", got)
+	}
+	s.FlushStore(a1)
+	if got := r.Stats().Emitted; got != 1 {
+		t.Fatalf("partial flush of chain A should emit exactly its 1 task, got %d", got)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("chain B should still be buffered, pending = %d", got)
+	}
+	s.Flush()
+	if got := r.Stats().Emitted; got != 2 {
+		t.Fatalf("full flush should emit the rest, got %d", got)
+	}
+}
+
+// TestFlushStorePullsTransitiveClosure checks that forcing a store drains
+// its whole producer chain, including anti-dependence predecessors, in
+// submission order.
+func TestFlushStorePullsTransitiveClosure(t *testing.T) {
+	r := newTestRuntime(true)
+	s := r.DefaultSession()
+
+	x0 := r.NewStore("x0", []int{16})
+	x1 := r.NewStore("x1", []int{16})
+	x2 := r.NewStore("x2", []int{16})
+	y := r.NewStore("y", []int{16})
+	s.Submit(chainTask(r, x0, x1)) // x1 = f(x0)
+	s.Submit(chainTask(r, x1, y))  // y = f(x1): anti-dep predecessor of the x1 rewrite below
+	s.Submit(chainTask(r, x0, x1)) // x1 = f(x0) again (WAW + WAR with the reader above)
+	s.Submit(chainTask(r, x1, x2)) // x2 = f(x1)
+	indep := r.NewStore("i0", []int{16})
+	indep2 := r.NewStore("i1", []int{16})
+	s.Submit(chainTask(r, indep, indep2))
+
+	s.FlushStore(x2)
+	// All four x-chain tasks are in the closure (the y reader via the x1
+	// store), the independent task is not.
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("only the independent task should remain, pending = %d", got)
+	}
+}
+
+// TestFlushStorePinsDeferredReaders reproduces the partial-flush /
+// temp-elimination interaction: a store read by a deferred task must not be
+// eliminated as a temporary while the forced closure drains, even when the
+// application holds no reference to it.
+func TestFlushStorePinsDeferredReaders(t *testing.T) {
+	r := newTestRuntime(true)
+	s := r.DefaultSession()
+
+	src := r.NewStore("src", []int{16})
+	shared := r.NewStore("shared", []int{16})
+	forced := r.NewStore("forced", []int{16})
+	deferredOut := r.NewStore("deferred", []int{16})
+
+	s.Submit(chainTask(r, src, shared))         // shared = f(src)
+	s.Submit(chainTask(r, shared, forced))      // forced = f(shared)
+	s.Submit(chainTask(r, shared, deferredOut)) // deferred = f(shared)
+	// The application drops shared: only the buffered readers keep it.
+	r.ReleaseStore(shared)
+
+	s.FlushStore(forced)
+	if got := r.Stats().TempsEliminated; got != 0 {
+		t.Fatalf("shared store with a deferred reader must not be eliminated, temps = %d", got)
+	}
+	s.Flush()
+}
+
+// TestCrossSessionReaderBlocksTempElim: a store whose only remaining
+// reader is buffered in *another* session must not be eliminated as a
+// temporary when the producing session flushes — the reader holds runtime
+// references that the producing window cannot see as suffix reads.
+func TestCrossSessionReaderBlocksTempElim(t *testing.T) {
+	r := newTestRuntime(true)
+	a := r.DefaultSession()
+	b := r.NewSession()
+
+	src := r.NewStore("src", []int{16})
+	shared := r.NewStore("shared", []int{16})
+	out := r.NewStore("out", []int{16})
+	a.Submit(chainTask(r, src, shared)) // session A produces shared
+	b.Submit(chainTask(r, shared, out)) // session B's buffered task reads it
+	r.ReleaseStore(shared)              // application drops its handle
+
+	a.Flush()
+	if got := r.Stats().TempsEliminated; got != 0 {
+		t.Fatalf("store with a cross-session pending reader must survive, temps = %d", got)
+	}
+	b.Flush()
+}
+
+// TestConcurrentSessions drives two sessions from two goroutines into one
+// runtime (run under -race): private windows, shared store namespace and
+// executor.
+func TestConcurrentSessions(t *testing.T) {
+	r := newTestRuntime(true)
+	const perSession = 200
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := r.NewSession()
+			prev := r.NewStore("x0", []int{16})
+			for i := 0; i < perSession; i++ {
+				next := r.NewStore("x", []int{16})
+				s.Submit(chainTask(r, prev, next))
+				r.ReleaseStore(prev)
+				prev = next
+			}
+			s.Flush()
+			r.ReleaseStore(prev)
+		}()
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Submitted != 2*perSession {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, 2*perSession)
+	}
+	if st.Emitted == 0 || st.Emitted >= st.Submitted {
+		t.Fatalf("concurrent sessions should still fuse: emitted %d of %d", st.Emitted, st.Submitted)
+	}
+}

@@ -26,6 +26,13 @@ func Canonicalize(window []*Task, facts StoreFacts) string {
 	for _, t := range window {
 		b.WriteString(t.Name)
 		b.WriteString(t.Launch.String())
+		// The kernel body (including immediate constants) is part of the
+		// isomorphism: replaying a memoized plan substitutes the compiled
+		// fused kernel, so streams that differ only in an immediate (e.g.
+		// fill(0) vs fill(1)) must not share an analysis.
+		b.WriteByte('<')
+		b.WriteString(t.Kernel.Fingerprint())
+		b.WriteByte('>')
 		b.WriteByte('[')
 		for i, a := range t.Args {
 			if i > 0 {

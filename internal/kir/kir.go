@@ -337,6 +337,53 @@ func (k *Kernel) String() string {
 	return b.String()
 }
 
+// Fingerprint renders the kernel body's structural identity — loop shapes,
+// statement structure, and every immediate constant. Two tasks may share a
+// memoized fusion analysis (and hence a compiled fused kernel) only when
+// their kernel fingerprints agree: task names alone do not distinguish,
+// e.g., fill(0) from fill(1), whose constants are baked into the body.
+func (k *Kernel) Fingerprint() string {
+	if k == nil {
+		return "nil"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", k.NParams)
+	for _, l := range k.Loops {
+		fmt.Fprintf(&b, "k%d;d%s;e%v;r%d;y%d;x%d;m%d;red%d;s%d;p%d{",
+			l.Kind, l.Dom, l.Ext, l.ExtRef, l.Y, l.X, l.MatA, l.Red, l.Seed, l.PayloadKey)
+		for _, st := range l.Stmts {
+			fmt.Fprintf(&b, "%d:%d:%d:", st.Kind, st.Param, st.Red)
+			exprFingerprint(&b, st.E)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func exprFingerprint(b *strings.Builder, e *Expr) {
+	if e == nil {
+		b.WriteByte('_')
+		return
+	}
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "c%g", e.Imm)
+	case OpLoad:
+		fmt.Fprintf(b, "l%d", e.Param)
+	case OpLoadScalar:
+		fmt.Fprintf(b, "s%d", e.Param)
+	default:
+		fmt.Fprintf(b, "%d(", e.Op)
+		exprFingerprint(b, e.A)
+		b.WriteByte(',')
+		exprFingerprint(b, e.B)
+		b.WriteByte(',')
+		exprFingerprint(b, e.C)
+		b.WriteByte(')')
+	}
+}
+
 var (
 	posInf = math.Inf(1)
 	negInf = math.Inf(-1)

@@ -78,13 +78,19 @@ type Runtime struct {
 	mode Mode
 	sim  *machine.Sim
 
-	mu      sync.Mutex
-	regions map[ir.StoreID]*region
+	// execMu serializes Execute, FreeStore, and the host-side data
+	// accessors (ReadAll/ReadAt/WriteAll) so concurrent Diffuse sessions
+	// never race on region contents or coherence metadata; writers and
+	// pendRed are guarded by it.
+	execMu sync.Mutex
 	// writers tracks the partitions whose writes produced each store's
 	// current contents (a covering write resets the set) — a lightweight
 	// stand-in for Legion's per-subregion version/coherence metadata.
-	writers  map[ir.StoreID][]ir.Partition
-	pendRed  map[ir.StoreID]ir.ReduceOp // stores with uncombined reductions
+	writers map[ir.StoreID][]ir.Partition
+	pendRed map[ir.StoreID]ir.ReduceOp // stores with uncombined reductions
+
+	mu       sync.Mutex // guards regions and compiled
+	regions  map[ir.StoreID]*region
 	compiled map[*kir.Kernel]*kir.Compiled
 
 	workers int
@@ -172,26 +178,40 @@ func redIdentity(op ir.ReduceOp) float64 {
 
 // FreeStore drops the region of a dead store.
 func (rt *Runtime) FreeStore(id ir.StoreID) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	delete(rt.regions, id)
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
 	delete(rt.writers, id)
 	delete(rt.pendRed, id)
+	rt.mu.Lock()
+	delete(rt.regions, id)
+	rt.mu.Unlock()
 }
 
 // ReadScalar returns element 0 of the store's region. ModeReal only; in
 // ModeSim data does not exist and 0 is returned (benchmarks use fixed
 // iteration counts rather than data-dependent convergence tests).
 func (rt *Runtime) ReadScalar(s *ir.Store) float64 {
+	return rt.ReadAt(s, 0)
+}
+
+// ReadAt returns the element at the given flat offset into the store's
+// canonical row-major layout — the deferred-read primitive scalar futures
+// resolve through once the producer chain has been flushed. ModeReal only;
+// ModeSim returns 0.
+func (rt *Runtime) ReadAt(s *ir.Store, off int) float64 {
 	if rt.mode == ModeSim {
 		return 0
 	}
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
-	return r.data[0]
+	return r.data[off]
 }
 
 // ReadAll copies out the store contents (tests and examples; ModeReal).
 func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
 	out := make([]float64, len(r.data))
 	copy(out, r.data)
@@ -200,20 +220,22 @@ func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 
 // WriteAll overwrites the store contents (tests and examples; ModeReal).
 func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
 	if len(data) != len(r.data) {
 		panic(fmt.Sprintf("legion: WriteAll size mismatch %d != %d", len(data), len(r.data)))
 	}
 	copy(r.data, data)
-	rt.mu.Lock()
 	rt.writers[s.ID()] = []ir.Partition{ir.ReplicateOver(ir.MakeRect(ir.Point{0}, ir.Point{1}))}
-	rt.mu.Unlock()
 }
 
 // Execute runs one index task to completion (issue-order execution; the
 // fusion layer above has already extracted the available parallelism into
 // point tasks).
 func (rt *Runtime) Execute(t *ir.Task) {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
 	rt.ExecutedTasks++
 	if rt.Trace != nil {
 		rt.Trace(t)

@@ -19,6 +19,36 @@ import (
 
 var payloadKeys atomic.Int64
 
+// sparse registers its hand-tuned solver kernels into cunum's shared
+// element-op registry instead of rolling private emitters: the AXPY family
+// every Krylov solver leans on (PETSc's VecAXPY shape — one task where the
+// textbook formulation issues two). Registered ops compose with cunum's
+// through the same appliers and fuse across the library boundary.
+func init() {
+	cunum.RegisterElemOp(cunum.ElemOp{Name: "axpy", Arity: 3, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Binary(kir.OpAdd, l[0], kir.Binary(kir.OpMul, l[2], l[1]))
+	}})
+	cunum.RegisterElemOp(cunum.ElemOp{Name: "axmy", Arity: 3, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return kir.Binary(kir.OpSub, l[0], kir.Binary(kir.OpMul, l[2], l[1]))
+	}})
+}
+
+// Axpy returns y + alpha*x as a single task (alpha a shape-[1] scalar).
+func Axpy(y, x, alpha *cunum.Array) *cunum.Array {
+	return cunum.ApplyOp("axpy", []*cunum.Array{y, x, alpha})
+}
+
+// Axmy returns y - alpha*x as a single task (alpha a shape-[1] scalar).
+func Axmy(y, x, alpha *cunum.Array) *cunum.Array {
+	return cunum.ApplyOp("axmy", []*cunum.Array{y, x, alpha})
+}
+
+// AxpyInto writes y + alpha*x into the destination view dst — the in-place
+// variant the registry provides for free.
+func AxpyInto(dst, y, x, alpha *cunum.Array) {
+	cunum.ApplyOpInto("axpy", dst, []*cunum.Array{y, x, alpha})
+}
+
 // CSR is a distributed compressed-sparse-row matrix.
 type CSR struct {
 	ctx        *cunum.Context
@@ -159,4 +189,13 @@ func (m *CSR) SpMV(x *cunum.Array) *cunum.Array {
 	})
 	cunum.Consume(x)
 	return y
+}
+
+// Residual returns b - A@x as a fresh ephemeral vector: the SpMV task plus
+// one cross-library element-wise task from the shared op registry, which
+// Diffuse fuses with surrounding work. Chain .Norm().Future() onto the
+// result for a deferred convergence check.
+func (m *CSR) Residual(x, b *cunum.Array) *cunum.Array {
+	ax := m.SpMV(x)
+	return cunum.ApplyOp("sub", []*cunum.Array{b, ax})
 }
