@@ -9,6 +9,14 @@
 //	diffuse-bench -ablate notemp       # no temporary-store elimination
 //	diffuse-bench -ablate nomemo       # no memoization
 //	diffuse-bench -ablate window       # window-size sensitivity sweep
+//
+// It also runs the real-execution macrobenchmark suite behind the
+// committed BENCH_real.json (see docs/BENCHMARKS.md):
+//
+//	diffuse-bench -real                          # wall-clock suite, table to stdout
+//	diffuse-bench -real -realout BENCH_real.json # also write the JSON document
+//	diffuse-bench -real -realpreset tiny         # CI smoke sizes
+//	diffuse-bench -checkreal BENCH_real.json     # schema gate: validate and exit
 package main
 
 import (
@@ -32,12 +40,51 @@ func main() {
 		gpusFlag  = flag.String("gpus", "1,2,4,8,16,32,64,128", "comma-separated GPU counts")
 		scaleFlag = flag.Float64("scale", 1.0, "per-GPU problem size multiplier")
 		ablate    = flag.String("ablate", "", "ablation: taskonly | notemp | nomemo | window")
+
+		realFlag   = flag.Bool("real", false, "run the real-execution macrobenchmark suite")
+		realPreset = flag.String("realpreset", "full", "real suite preset: tiny | full")
+		realProcs  = flag.Int("realprocs", 8, "real suite launch width (point tasks per index task)")
+		realOut    = flag.String("realout", "", "write the real-suite JSON document to this path")
+		checkReal  = flag.String("checkreal", "", "validate a BENCH_real.json against the schema and exit")
 	)
 	flag.Parse()
 
 	gpus := parseGPUs(*gpusFlag)
 	sc := bench.Scale(*scaleFlag)
 	out := os.Stdout
+
+	if *checkReal != "" {
+		data, err := os.ReadFile(*checkReal)
+		if err == nil {
+			err = bench.ValidateRealSuite(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %s OK\n", *checkReal, bench.RealSchema)
+		return
+	}
+
+	if *realFlag {
+		suite, err := bench.RunRealSuite(*realPreset, *realProcs, out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *realOut != "" {
+			data, err := bench.MarshalRealSuite(suite)
+			if err == nil {
+				err = os.WriteFile(*realOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *realOut)
+		}
+		return
+	}
 
 	if *ablate != "" {
 		runAblation(*ablate, sc, gpus)

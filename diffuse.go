@@ -55,6 +55,24 @@ type Session = core.Session
 // MachineConfig holds the simulated-cluster constants.
 type MachineConfig = machine.Config
 
+// ExecPolicy selects the real-mode executor implementation.
+type ExecPolicy = legion.ExecPolicy
+
+// ExecStats counts real-mode executor activity (inline vs pooled tasks,
+// chunks claimed, steals); read it via rt.Legion().ExecStats().
+type ExecStats = legion.ExecStats
+
+// Real-mode executor policies.
+const (
+	// ExecChunked (default) schedules point tasks on a persistent,
+	// NumCPU-sized worker pool in cost-model-sized chunks with work
+	// stealing.
+	ExecChunked = legion.ExecChunked
+	// ExecPerPoint spawns one goroutine per point task (the v1 executor,
+	// kept as the measured baseline of BENCH_real.json).
+	ExecPerPoint = legion.ExecPerPoint
+)
+
 // Execution modes.
 const (
 	// ModeReal executes point tasks in parallel over real buffers.

@@ -33,6 +33,11 @@ type Config struct {
 	// Machine configures the simulated cluster (ModeSim) and the default
 	// launch width used by libraries.
 	Machine machine.Config
+	// Exec selects the real-mode executor: the persistent chunked worker
+	// pool (legion.ExecChunked, the zero value) or the per-point-goroutine
+	// baseline (legion.ExecPerPoint) that the benchmark suite measures
+	// against. Ignored in ModeSim.
+	Exec legion.ExecPolicy
 
 	// Enabled turns the fusion layer on. When false, Diffuse is a
 	// pass-through and the system behaves like standard cuPyNumeric /
@@ -116,6 +121,7 @@ func New(cfg Config) *Runtime {
 		leg:  legion.New(cfg.Mode, cfg.Machine),
 		memo: map[string]*memoEntry{},
 	}
+	r.leg.SetExecPolicy(cfg.Exec)
 	r.stats.WindowSize = cfg.InitialWindow
 	r.def = r.NewSession()
 	return r

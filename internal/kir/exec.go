@@ -58,12 +58,23 @@ type PointArgs struct {
 	Scratch *Scratch
 }
 
-// Scratch holds reusable evaluator state.
+// slotState is the streaming accessor state of one iterated parameter
+// inside an element-wise loop.
+type slotState struct {
+	data    []float64
+	strides []int
+}
+
+// Scratch holds reusable evaluator state. A Scratch belongs to exactly one
+// executing goroutine at a time; the persistent executor keeps one per
+// worker so the entire fused task stream reuses the same registers,
+// odometers, accessor slots, and task-local buffers without allocating.
 type Scratch struct {
 	regs   []float64
 	cur    []int
 	idx    []int
 	racc   []float64
+	states []slotState
 	locals map[int][]float64
 }
 
@@ -89,6 +100,10 @@ func (s *Scratch) grow(nregs, nslots, ndims, nred int) {
 		s.racc = make([]float64, nred)
 	}
 	s.racc = s.racc[:cap(s.racc)]
+	if cap(s.states) < nslots {
+		s.states = make([]slotState, nslots)
+	}
+	s.states = s.states[:cap(s.states)]
 }
 
 // Execute runs the compiled kernel for one point task. Reduction
@@ -168,12 +183,8 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 	for d := range idx {
 		idx[d] = 0
 	}
-	// Per-slot accessor state.
-	type slotState struct {
-		data    []float64
-		strides []int
-	}
-	states := make([]slotState, len(l.iter))
+	// Per-slot accessor state, reused across executions.
+	states := sc.states[:len(l.iter)]
 	for s, ip := range l.iter {
 		b := &pa.Bind[ip.param]
 		states[s] = slotState{data: b.Acc.Data, strides: b.Acc.Strides}
@@ -272,6 +283,10 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 		b := &pa.Bind[rs.param]
 		b.Acc.Data[b.Acc.Base] = rs.red.Combine(b.Acc.Data[b.Acc.Base], racc[r])
 	}
+	// Drop buffer references so a parked scratch never pins freed regions.
+	for s := range states {
+		states[s] = slotState{}
+	}
 }
 
 func (c *Compiled) execSpMV(l *compiledLoop, pa *PointArgs) {
@@ -327,7 +342,7 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 // processor decomposition and of whether the destination was demoted to a
 // task-local buffer, so the value is keyed by the element's offset in the
 // distributed parent store even when writing locally.
-func execGenerator(b *Binding, fn func(globalOffset int) float64) {
+func execGenerator(sc *Scratch, b *Binding, fn func(globalOffset int) float64) {
 	ext := b.Ext
 	total := extTotal(ext)
 	if total == 0 {
@@ -338,7 +353,11 @@ func execGenerator(b *Binding, fn func(globalOffset int) float64) {
 		gacc = b.global
 	}
 	rank := len(ext)
-	idx := make([]int, rank)
+	sc.grow(0, 0, rank, 0)
+	idx := sc.idx[:rank]
+	for d := range idx {
+		idx[d] = 0
+	}
 	cur := b.Acc.Base
 	gcur := gacc.Base
 	for e := 0; e < total; e++ {
@@ -361,7 +380,7 @@ func execGenerator(b *Binding, fn func(globalOffset int) float64) {
 // in [0,1) derived from the seed and the element's global offset.
 func (c *Compiled) execRandom(l *compiledLoop, pa *PointArgs) {
 	seed := l.seed
-	execGenerator(&pa.Bind[l.extRef], func(g int) float64 {
+	execGenerator(pa.Scratch, &pa.Bind[l.extRef], func(g int) float64 {
 		return splitmix(seed + uint64(g))
 	})
 }
@@ -369,7 +388,7 @@ func (c *Compiled) execRandom(l *compiledLoop, pa *PointArgs) {
 // execIota fills the destination with each element's flat parent offset
 // (NumPy arange over whole arrays).
 func (c *Compiled) execIota(l *compiledLoop, pa *PointArgs) {
-	execGenerator(&pa.Bind[l.extRef], func(g int) float64 {
+	execGenerator(pa.Scratch, &pa.Bind[l.extRef], func(g int) float64 {
 		return float64(g)
 	})
 }
@@ -381,7 +400,12 @@ func (c *Compiled) execAxisReduce(l *compiledLoop, pa *PointArgs) {
 	rank := len(in.Ext)
 	last := in.Ext[rank-1]
 	outTotal := extTotal(in.Ext[:rank-1])
-	idx := make([]int, rank-1)
+	sc := pa.Scratch
+	sc.grow(0, 0, rank-1, 0)
+	idx := sc.idx[:rank-1]
+	for d := range idx {
+		idx[d] = 0
+	}
 	curIn := in.Acc.Base
 	curOut := out.Acc.Base
 	innerStride := in.Acc.Strides[rank-1]

@@ -8,9 +8,22 @@ import (
 	"diffuse/internal/kir"
 )
 
-// executeReal runs the task's point tasks in parallel on the worker pool
-// over real buffers.
+// executeReal runs the task's point tasks over real buffers through the
+// active executor policy: the persistent chunked pool (default) or the
+// per-point-goroutine baseline.
 func (rt *Runtime) executeReal(t *ir.Task) {
+	if rt.policy == ExecPerPoint {
+		rt.executePerPoint(t)
+		return
+	}
+	rt.executeChunked(t)
+}
+
+// executePerPoint is the v1 executor, kept as the measured baseline: one
+// goroutine per point task behind a semaphore, with bindings resolved
+// afresh at every point. BENCH_real.json records the chunked executor's
+// speedup over this path.
+func (rt *Runtime) executePerPoint(t *ir.Task) {
 	if t.Kernel == nil {
 		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
 	}

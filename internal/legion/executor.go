@@ -1,0 +1,650 @@
+package legion
+
+// The persistent real-mode executor. v1 spawned one goroutine per point
+// task behind a semaphore and re-resolved every region, shape, and stride
+// once per point; on streams of fine-grained tasks the runtime spent more
+// time standing up execution than executing. v2 keeps a NumCPU-sized pool
+// of workers alive for the life of the Runtime and feeds it *chunks* —
+// groups of contiguous point-task colors sized by the machine cost model
+// so each dispatch carries enough work to amortize its scheduling. Workers
+// claim chunks from their own range and steal from the back of other
+// workers' ranges when they run dry; tasks estimated to finish faster than
+// a dispatch costs run inline on the submitting goroutine.
+//
+// Determinism: every point task accumulates reductions into its own
+// per-point partial cell, and the barrier folds cells in point order —
+// results are bit-identical to the per-point baseline no matter how chunks
+// are sized, scheduled, or stolen.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/machine"
+)
+
+// ExecPolicy selects how ModeReal point tasks are scheduled.
+type ExecPolicy int
+
+// Executor policies.
+const (
+	// ExecChunked (the default) runs point tasks on the runtime's
+	// persistent worker pool in cost-model-sized chunks with work
+	// stealing, running sub-dispatch-cost tasks inline.
+	ExecChunked ExecPolicy = iota
+	// ExecPerPoint reproduces the v1 executor — one goroutine per point
+	// task behind a semaphore — and exists as the measured baseline of
+	// the real-mode benchmark suite (BENCH_real.json).
+	ExecPerPoint
+)
+
+// ExecStats counts executor activity since the runtime was created.
+type ExecStats struct {
+	// InlineTasks is the number of index tasks executed on the submitting
+	// goroutine because their estimated duration was below the dispatch
+	// cutoff.
+	InlineTasks int64
+	// PoolTasks is the number of index tasks dispatched to the worker
+	// pool.
+	PoolTasks int64
+	// Chunks is the number of dispatch chunks claimed (including stolen
+	// ones).
+	Chunks int64
+	// Steals is the number of chunks a worker claimed from another
+	// worker's range.
+	Steals int64
+}
+
+// executor is the persistent worker pool of one ModeReal runtime. Exactly
+// one batch runs at a time (Runtime.Execute serializes on execMu), so the
+// claim ranges and per-worker states are reused batch to batch.
+type executor struct {
+	nw   int
+	host machine.Config
+
+	wake  []chan *execBatch
+	quit  chan struct{}
+	spawn sync.Once
+	halt  sync.Once
+
+	// ranges[w] is worker w's claimable chunk range for the current
+	// batch; index nw belongs to the submitting goroutine, which
+	// participates as the last claimant.
+	ranges []claimRange
+	// ws[w] is worker w's reusable binding/scratch state; index nw is the
+	// submitter's.
+	ws []workerState
+
+	inline atomic.Int64
+	pooled atomic.Int64
+	chunks atomic.Int64
+	steals atomic.Int64
+}
+
+func newExecutor(workers int, host machine.Config) *executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &executor{
+		nw:     workers,
+		host:   host,
+		wake:   make([]chan *execBatch, workers),
+		quit:   make(chan struct{}),
+		ranges: make([]claimRange, workers+1),
+		ws:     make([]workerState, workers+1),
+	}
+	for w := range e.wake {
+		e.wake[w] = make(chan *execBatch, 1)
+	}
+	return e
+}
+
+// startWorkers spawns the pool on first pooled dispatch, so runtimes that
+// only ever run inline-sized tasks (or simulate) cost no goroutines.
+func (e *executor) startWorkers() {
+	e.spawn.Do(func() {
+		for w := 0; w < e.nw; w++ {
+			go e.workerLoop(w)
+		}
+	})
+}
+
+// shutdown stops the worker goroutines; invoked by the Runtime finalizer
+// once no further Execute can occur.
+func (e *executor) shutdown() {
+	e.halt.Do(func() { close(e.quit) })
+}
+
+func (e *executor) workerLoop(w int) {
+	for {
+		select {
+		case b := <-e.wake[w]:
+			e.run(b, w, w)
+			b.wg.Done()
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// claimRange is a [lo, hi) interval of chunk indices supporting
+// concurrent pop-front (owner) and pop-back (thieves) via CAS on one
+// packed word. Padded so adjacent workers' ranges do not share a cache
+// line during steal storms.
+type claimRange struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+func packRange(lo, hi int) uint64 { return uint64(lo)<<32 | uint64(uint32(hi)) }
+
+func (r *claimRange) set(lo, hi int) { r.bits.Store(packRange(lo, hi)) }
+
+func (r *claimRange) popFront() (int, bool) {
+	for {
+		v := r.bits.Load()
+		lo, hi := int(v>>32), int(uint32(v))
+		if lo >= hi {
+			return 0, false
+		}
+		if r.bits.CompareAndSwap(v, packRange(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+func (r *claimRange) popBack() (int, bool) {
+	for {
+		v := r.bits.Load()
+		lo, hi := int(v>>32), int(uint32(v))
+		if lo >= hi {
+			return 0, false
+		}
+		if r.bits.CompareAndSwap(v, packRange(lo, hi-1)) {
+			return hi - 1, true
+		}
+	}
+}
+
+// workerState is one worker's reusable execution state: the PointArgs
+// (bindings, payload map, scratch) rebound in place for every point task
+// it runs, and per-argument extent buffers.
+type workerState struct {
+	pa      kir.PointArgs
+	scratch *kir.Scratch
+	ext     [][]int
+}
+
+func (ws *workerState) prepare(nargs int, payload *Payload) {
+	if ws.scratch == nil {
+		ws.scratch = kir.NewScratch()
+	}
+	ws.pa.Scratch = ws.scratch
+	if cap(ws.pa.Bind) < nargs {
+		ws.pa.Bind = make([]kir.Binding, nargs)
+	}
+	ws.pa.Bind = ws.pa.Bind[:nargs]
+	if cap(ws.ext) < nargs {
+		ext := make([][]int, nargs)
+		copy(ext, ws.ext)
+		ws.ext = ext
+	}
+	ws.ext = ws.ext[:nargs]
+	if payload != nil && len(payload.CSR) > 0 && ws.pa.Payloads == nil {
+		ws.pa.Payloads = map[int]*kir.CSRLocal{}
+	}
+}
+
+// release drops buffer references when a batch ends: a parked worker must
+// not pin the batch's regions or CSR payloads (the same pattern kir's
+// evaluator applies to its slot states), and a stale payload entry must
+// never satisfy a key a later batch fails to provide.
+func (ws *workerState) release() {
+	for i := range ws.pa.Bind {
+		ws.pa.Bind[i] = kir.Binding{}
+	}
+	if len(ws.pa.Payloads) > 0 {
+		clear(ws.pa.Payloads)
+	}
+}
+
+// execBatch is one index task in flight on the pool.
+type execBatch struct {
+	plan    *taskPlan
+	comp    *kir.Compiled
+	payload *Payload
+	colors  []ir.Point
+	chunk   int // points per chunk
+	nparts  int // populated claim ranges (woken workers + submitter)
+	wg      sync.WaitGroup
+}
+
+// taskPlan caches everything executeChunked can pre-resolve for a task
+// once per stream instead of once per point: region data, store strides
+// and shapes, per-dimension tiling coefficients, launch colors, reduction
+// partial buffers, and the cost-model grain estimate. Plans are keyed by
+// kernel pointer — memoized fused streams replay the same kernel object
+// every iteration, so steady-state iterations skip resolution entirely —
+// and validated structurally against the task before reuse. Guarded by
+// Runtime.execMu.
+type taskPlan struct {
+	kernel   *kir.Kernel
+	launch   ir.Rect
+	colors   []ir.Point
+	args     []argPlan
+	redArgs  []int       // arg indices with Reduce privilege
+	partials [][]float64 // parallel to redArgs: per-point partial cells
+	perPoint float64     // estimated seconds per point task (host model)
+	// epoch is the runtime's free-epoch the plan's regions were resolved
+	// at; FreeStore bumps the epoch (O(1) — it must not scan the cache),
+	// and a plan whose epoch lags re-resolves every region before use.
+	// Deliberate tradeoff: a lagging plan keeps its old data slices
+	// reachable until that kernel next executes or the cache clears —
+	// bounded by maxPlans and gone entirely with the runtime.
+	epoch int64
+}
+
+// argPlan is the pre-resolved binding recipe of one task argument.
+type argPlan struct {
+	store *ir.Store
+	part  ir.Partition
+	priv  ir.Privilege
+	red   ir.ReduceOp
+
+	local  bool
+	data   []float64 // nil for temporary-eliminated (local) args
+	redIdx int       // index into taskPlan.redArgs when priv is Reduce
+
+	// None partitions bind identically at every point.
+	isNone bool
+	static kir.Binding
+
+	// Tiling partitions bind via precomputed coefficients:
+	// base = offBase + Σ_d proj(color)[d]*tileCoef[d], element stride
+	// accStr[d], extents clipped against the view.
+	tp       *ir.TilingPart
+	offBase  int
+	tileCoef []int
+	accStr   []int
+}
+
+// Shared read-only binding pieces for reduction cells.
+var (
+	zeroStride = []int{0}
+	extOne     = []int{1}
+)
+
+// maxPlans bounds the plan cache; unfused streams mint a fresh kernel per
+// task, and the cache must not grow with iteration count.
+const maxPlans = 2048
+
+// planFor returns (building and caching if needed) the execution plan of
+// the task. Callers hold execMu.
+func (rt *Runtime) planFor(t *ir.Task, comp *kir.Compiled) *taskPlan {
+	if p, ok := rt.plans[t.Kernel]; ok && p.refresh(rt, t) {
+		return p
+	}
+	p := rt.buildPlan(t, comp)
+	if len(rt.plans) >= maxPlans {
+		clear(rt.plans)
+	}
+	rt.plans[t.Kernel] = p
+	return p
+}
+
+// refresh revalidates a cached plan against the task. Structure must
+// match exactly — launch, per-argument privileges, reduction ops, and
+// (structurally) partitions. Fresh store objects are fine as long as
+// their shapes match: fused streams recreate non-eliminated temporaries
+// every iteration, and the partition/stride coefficients depend only on
+// shape, so only the region data is re-resolved, in place. A plan whose
+// free-epoch lags the runtime's (some region was freed since it last
+// resolved) likewise re-resolves every region. Returns false when the
+// plan cannot describe the task and must be rebuilt.
+func (p *taskPlan) refresh(rt *Runtime, t *ir.Task) bool {
+	if !p.launch.Equal(t.Launch) || len(p.args) != len(t.Args) {
+		return false
+	}
+	fresh := p.epoch == rt.freeEpoch
+	for i := range t.Args {
+		a := &t.Args[i]
+		ap := &p.args[i]
+		if ap.priv != a.Priv || ap.red != a.Red || !ap.part.Equal(a.Part) {
+			return false
+		}
+		if ap.store == a.Store {
+			continue
+		}
+		if !intsEq(ap.store.Shape(), a.Store.Shape()) {
+			return false
+		}
+		fresh = false
+	}
+	if fresh {
+		return true
+	}
+	rebindAll := p.epoch != rt.freeEpoch
+	for i := range t.Args {
+		a := &t.Args[i]
+		ap := &p.args[i]
+		if ap.store == a.Store && !rebindAll {
+			continue
+		}
+		ap.store = a.Store
+		ap.part = a.Part
+		if !ap.local {
+			ap.data = rt.regionFor(a.Store, a.Red).data
+			if ap.isNone {
+				ap.static.Acc.Data = ap.data
+			}
+		}
+	}
+	p.epoch = rt.freeEpoch
+	return true
+}
+
+func intsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *Runtime) buildPlan(t *ir.Task, comp *kir.Compiled) *taskPlan {
+	p := &taskPlan{kernel: t.Kernel, launch: t.Launch, colors: t.Launch.Points(), epoch: rt.freeEpoch}
+	p.args = make([]argPlan, len(t.Args))
+	for i, a := range t.Args {
+		ap := &p.args[i]
+		ap.store = a.Store
+		ap.part = a.Part
+		ap.priv = a.Priv
+		ap.red = a.Red
+		ap.local = t.Kernel.Local[i]
+		if !ap.local {
+			ap.data = rt.regionFor(a.Store, a.Red).data
+		}
+		if a.Priv.Reduces() {
+			ap.redIdx = len(p.redArgs)
+			p.redArgs = append(p.redArgs, i)
+		}
+		shape := a.Store.Shape()
+		strides := a.Store.Strides()
+		switch part := a.Part.(type) {
+		case *ir.NonePart:
+			ap.isNone = true
+			ap.static = kir.Binding{
+				Acc: kir.Accessor{Data: ap.data, Base: 0, Strides: strides},
+				Ext: append([]int(nil), shape...),
+			}
+		case *ir.TilingPart:
+			ap.tp = part
+			ap.tileCoef = make([]int, len(shape))
+			ap.accStr = make([]int, len(shape))
+			for d := range shape {
+				ap.offBase += part.Offset[d] * strides[d]
+				ap.accStr[d] = part.Stride[d] * strides[d]
+				ap.tileCoef[d] = part.Tile[d] * part.Stride[d] * strides[d]
+			}
+		default:
+			panic(fmt.Sprintf("legion: unknown partition kind %T", a.Part))
+		}
+	}
+	p.partials = make([][]float64, len(p.redArgs))
+
+	// Grain estimate: per-point cost on the host model. SpMV loops draw
+	// their row/nnz statistics from the payload when present.
+	var stats kir.SpMVStats
+	if payload, ok := t.Payload.(*Payload); ok && payload != nil {
+		stats = func(key int) (float64, float64) {
+			prov, ok := payload.CSR[key]
+			if !ok {
+				return 0, 0
+			}
+			return prov.Stats()
+		}
+	} else {
+		stats = func(int) (float64, float64) { return 0, 0 }
+	}
+	cost := comp.Cost(stats)
+	p.perPoint = rt.exec.host.PointCost(cost.Bytes, cost.Flops, cost.Launches)
+	return p
+}
+
+// resetPartials sizes every reduction's per-point cell buffer to the
+// launch width and refills the identities.
+func (p *taskPlan) resetPartials(t *ir.Task, n int) {
+	for r, i := range p.redArgs {
+		buf := p.partials[r]
+		if cap(buf) < n {
+			buf = make([]float64, n)
+		}
+		buf = buf[:n]
+		id := redOpOf(t.Args[i].Red).Identity()
+		for j := range buf {
+			buf[j] = id
+		}
+		p.partials[r] = buf
+	}
+}
+
+// foldPartials combines every reduction's per-point cells into its
+// destination cell, in point order — the same order the per-point
+// baseline uses, so results are scheduling-independent.
+func (p *taskPlan) foldPartials(t *ir.Task) {
+	for r, i := range p.redArgs {
+		op := redOpOf(t.Args[i].Red)
+		cell := p.args[i].data
+		acc := cell[0]
+		for _, v := range p.partials[r] {
+			acc = op.Combine(acc, v)
+		}
+		cell[0] = acc
+	}
+}
+
+// bindPoint rebinds ws.pa for one point task using the plan's
+// pre-resolved recipes; no allocation on the steady-state path.
+func bindPoint(p *taskPlan, ws *workerState, pi int, color ir.Point) {
+	for i := range p.args {
+		ap := &p.args[i]
+		switch {
+		case ap.priv.Reduces():
+			// Reductions accumulate into the point's private cell.
+			ws.pa.Bind[i] = kir.Binding{
+				Acc: kir.Accessor{Data: p.partials[ap.redIdx], Base: pi, Strides: zeroStride},
+				Ext: extOne,
+			}
+		case ap.isNone:
+			ws.pa.Bind[i] = ap.static
+		default:
+			c := ap.tp.Proj.Apply(color)
+			rank := len(ap.tileCoef)
+			ext := ws.ext[i]
+			if cap(ext) < rank {
+				ext = make([]int, rank)
+				ws.ext[i] = ext
+			}
+			ext = ext[:rank]
+			base := ap.offBase
+			for d := 0; d < rank; d++ {
+				cd := c[d]
+				base += cd * ap.tileCoef[d]
+				e := ap.tp.View[d] - cd*ap.tp.Tile[d]
+				if e > ap.tp.Tile[d] {
+					e = ap.tp.Tile[d]
+				}
+				if e < 0 {
+					e = 0
+				}
+				ext[d] = e
+			}
+			ws.pa.Bind[i] = kir.Binding{
+				Acc: kir.Accessor{Data: ap.data, Base: base, Strides: ap.accStr},
+				Ext: ext,
+			}
+		}
+	}
+}
+
+// runPoint executes one point task on this worker's reusable state.
+func (e *executor) runPoint(b *execBatch, ws *workerState, pi int, color ir.Point) {
+	bindPoint(b.plan, ws, pi, color)
+	if b.payload != nil && len(b.payload.CSR) > 0 {
+		for k, prov := range b.payload.CSR {
+			ws.pa.Payloads[k] = prov.Local(pi)
+		}
+	}
+	b.comp.Execute(&ws.pa)
+}
+
+// run drains chunks for one participant: first its own range front to
+// back, then the backs of the other participants' ranges.
+func (e *executor) run(b *execBatch, wsIdx, rangeIdx int) {
+	ws := &e.ws[wsIdx]
+	ws.prepare(len(b.plan.args), b.payload)
+	defer ws.release()
+	n := len(b.colors)
+	for {
+		c, stolen, ok := e.claimChunk(rangeIdx, b.nparts)
+		if !ok {
+			return
+		}
+		e.chunks.Add(1)
+		if stolen {
+			e.steals.Add(1)
+		}
+		lo := c * b.chunk
+		hi := lo + b.chunk
+		if hi > n {
+			hi = n
+		}
+		for pi := lo; pi < hi; pi++ {
+			e.runPoint(b, ws, pi, b.colors[pi])
+		}
+	}
+}
+
+func (e *executor) claimChunk(self, nparts int) (chunk int, stolen, ok bool) {
+	if c, ok := e.ranges[self].popFront(); ok {
+		return c, false, true
+	}
+	for i := 1; i < nparts; i++ {
+		v := self + i
+		if v >= nparts {
+			v -= nparts
+		}
+		if c, ok := e.ranges[v].popBack(); ok {
+			return c, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// executeChunked runs the task's point tasks through the persistent
+// executor: plan resolution (cached across the stream), grain selection
+// from the host cost model, inline or pooled dispatch, and the reduction
+// barrier fold.
+func (rt *Runtime) executeChunked(t *ir.Task) {
+	if t.Kernel == nil {
+		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
+	}
+	comp := rt.Compiled(t.Kernel)
+	plan := rt.planFor(t, comp)
+	colors := plan.colors
+	n := len(colors)
+	if n == 0 {
+		return
+	}
+	payload, _ := t.Payload.(*Payload)
+	plan.resetPartials(t, n)
+
+	e := rt.exec
+	b := &execBatch{plan: plan, comp: comp, payload: payload, colors: colors}
+	chunk, inline := e.host.ChunkPoints(plan.perPoint, n, e.nw)
+	if inline {
+		e.inline.Add(1)
+		sub := &e.ws[e.nw]
+		sub.prepare(len(plan.args), payload)
+		for pi, color := range colors {
+			e.runPoint(b, sub, pi, color)
+		}
+		sub.release()
+	} else {
+		e.pooled.Add(1)
+		nchunks := (n + chunk - 1) / chunk
+		b.chunk = chunk
+		// Participants: up to nw workers, plus the submitter (always the
+		// last claim range). Never wake more workers than there are
+		// chunks left after the submitter's.
+		woken := e.nw
+		if nchunks-1 < woken {
+			woken = nchunks - 1
+		}
+		b.nparts = woken + 1
+		for i := 0; i < b.nparts; i++ {
+			e.ranges[i].set(i*nchunks/b.nparts, (i+1)*nchunks/b.nparts)
+		}
+		e.startWorkers()
+		b.wg.Add(woken)
+		for w := 0; w < woken; w++ {
+			e.wake[w] <- b
+		}
+		e.run(b, e.nw, b.nparts-1)
+		b.wg.Wait()
+	}
+	plan.foldPartials(t)
+}
+
+// SetExecPolicy selects the real-mode executor implementation. It must be
+// called before any task executes and is not safe to change mid-stream;
+// the per-point policy exists as the benchmark baseline.
+func (rt *Runtime) SetExecPolicy(p ExecPolicy) { rt.policy = p }
+
+// ExecPolicyOf returns the active executor policy.
+func (rt *Runtime) ExecPolicyOf() ExecPolicy { return rt.policy }
+
+// ExecStats returns a snapshot of the executor's activity counters.
+func (rt *Runtime) ExecStats() ExecStats {
+	e := rt.exec
+	if e == nil {
+		return ExecStats{}
+	}
+	return ExecStats{
+		InlineTasks: e.inline.Load(),
+		PoolTasks:   e.pooled.Load(),
+		Chunks:      e.chunks.Load(),
+		Steals:      e.steals.Load(),
+	}
+}
+
+// SetWorkerPool resizes the persistent executor to n workers. The default
+// is GOMAXPROCS; tests and benchmarks set explicit sizes to exercise the
+// pooled path independently of host parallelism. ModeReal only; must be
+// called before any task executes.
+func (rt *Runtime) SetWorkerPool(n int) {
+	if rt.exec == nil || n < 1 {
+		return
+	}
+	rt.exec.shutdown()
+	rt.workers = n
+	rt.exec = newExecutor(n, machine.HostExec(n))
+}
+
+// attachExecutor wires a fresh executor to a ModeReal runtime and
+// arranges for its workers to exit when the runtime is collected —
+// benchmarks and tests create many short-lived runtimes, and parked
+// workers must not accumulate.
+func (rt *Runtime) attachExecutor() {
+	rt.exec = newExecutor(rt.workers, machine.HostExec(rt.workers))
+	rt.plans = map[*kir.Kernel]*taskPlan{}
+	runtime.SetFinalizer(rt, func(r *Runtime) { r.exec.shutdown() })
+}

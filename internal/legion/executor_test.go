@@ -1,0 +1,160 @@
+package legion
+
+import (
+	"math"
+	"testing"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/machine"
+)
+
+// randomKernel fills its single parameter with seeded pseudo-random values.
+func randomKernel(seed uint64, ext int) *kir.Kernel {
+	k := kir.NewKernel("rand", 1)
+	k.AddLoop(&kir.Loop{Kind: kir.LoopRandom, Dom: "v", Ext: []int{ext}, ExtRef: 0, Seed: seed})
+	return k
+}
+
+// mathKernel writes param1 = sqrt(|param0|) + param0*c, a float chain whose
+// bits depend on evaluation producing exactly the baseline's values.
+func mathKernel(ext int) *kir.Kernel {
+	k := kir.NewKernel("math", 2)
+	e := kir.Binary(kir.OpAdd,
+		kir.Unary(kir.OpSqrt, kir.Unary(kir.OpAbs, kir.Load(0))),
+		kir.Binary(kir.OpMul, kir.Load(0), kir.Const(1.0000001192092896)))
+	k.AddLoop(&kir.Loop{Kind: kir.LoopElem, Dom: "v", Ext: []int{ext}, ExtRef: 1,
+		Stmts: []kir.Stmt{{Kind: kir.KStore, Param: 1, E: e}}})
+	return k
+}
+
+// reduceKernel folds param0 into scalar param1 with the given combiner.
+func reduceKernel(ext int, red kir.RedOp) *kir.Kernel {
+	k := kir.NewKernel("red", 2)
+	k.AddLoop(&kir.Loop{Kind: kir.LoopElem, Dom: "v", Ext: []int{ext}, ExtRef: 0,
+		Stmts: []kir.Stmt{{Kind: kir.KReduce, Param: 1, E: kir.Load(0), Red: red}}})
+	return k
+}
+
+// runStream executes the shared random→math→reduce stream on a fresh
+// runtime with the given policy and returns the math output plus the two
+// reduction scalars. The kernels are shared between invocations so the
+// chunked executor's plan cache is exercised on the repeat iterations.
+func runStream(t *testing.T, policy ExecPolicy, points, ext, iters int,
+	kRand, kMath, kSum, kMax *kir.Kernel) ([]float64, float64, float64) {
+	t.Helper()
+	rt := New(ModeReal, machine.DefaultA100(points))
+	rt.SetExecPolicy(policy)
+	rt.SetWorkerPool(4) // exercise the pooled path even on 1-CPU hosts
+	var fact ir.Factory
+	n := points * ext
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{points})
+	tp := ir.NewTiling(launch, []int{n}, []int{ext}, []int{0}, nil, nil)
+	x := fact.NewStore("x", []int{n})
+	y := fact.NewStore("y", []int{n})
+	sum := fact.NewStore("sum", []int{1})
+	mx := fact.NewStore("max", []int{1})
+	for i := 0; i < iters; i++ {
+		rt.Execute(&ir.Task{Name: "rand", Launch: launch, Kernel: kRand,
+			Args: []ir.Arg{{Store: x, Part: tp, Priv: ir.Write}}})
+		rt.Execute(&ir.Task{Name: "math", Launch: launch, Kernel: kMath,
+			Args: []ir.Arg{
+				{Store: x, Part: tp, Priv: ir.Read},
+				{Store: y, Part: tp, Priv: ir.Write}}})
+		rt.Execute(&ir.Task{Name: "sum", Launch: launch, Kernel: kSum,
+			Args: []ir.Arg{
+				{Store: y, Part: tp, Priv: ir.Read},
+				{Store: sum, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: ir.RedSum}}})
+		rt.Execute(&ir.Task{Name: "max", Launch: launch, Kernel: kMax,
+			Args: []ir.Arg{
+				{Store: y, Part: tp, Priv: ir.Read},
+				{Store: mx, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: ir.RedMax}}})
+	}
+	return rt.ReadAll(y), rt.ReadScalar(sum), rt.ReadScalar(mx)
+}
+
+// TestChunkedBitIdenticalToPerPoint checks the determinism contract: the
+// chunked executor (any chunking, any stealing schedule) produces results
+// bit-identical to the per-point baseline, including order-sensitive
+// floating-point sum reductions, across launches narrower and wider than
+// the worker pool.
+func TestChunkedBitIdenticalToPerPoint(t *testing.T) {
+	for _, points := range []int{1, 4, 64} {
+		const ext = 2048 // big enough that wide launches take the pool path
+		kRand := randomKernel(7, ext)
+		kMath := mathKernel(ext)
+		kSum := reduceKernel(ext, kir.RedSum)
+		kMax := reduceKernel(ext, kir.RedMax)
+		yC, sumC, maxC := runStream(t, ExecChunked, points, ext, 3, kRand, kMath, kSum, kMax)
+		yP, sumP, maxP := runStream(t, ExecPerPoint, points, ext, 3, kRand, kMath, kSum, kMax)
+		if math.Float64bits(sumC) != math.Float64bits(sumP) {
+			t.Fatalf("points=%d: sum differs: chunked %x per-point %x", points,
+				math.Float64bits(sumC), math.Float64bits(sumP))
+		}
+		if math.Float64bits(maxC) != math.Float64bits(maxP) {
+			t.Fatalf("points=%d: max differs", points)
+		}
+		for i := range yC {
+			if math.Float64bits(yC[i]) != math.Float64bits(yP[i]) {
+				t.Fatalf("points=%d: y[%d] = %x, per-point %x", points, i,
+					math.Float64bits(yC[i]), math.Float64bits(yP[i]))
+			}
+		}
+	}
+}
+
+// TestExecutorInlineAndPoolPaths checks that the grain policy routes tiny
+// tasks inline and big ones to the pool, and that chunk accounting moves.
+func TestExecutorInlineAndPoolPaths(t *testing.T) {
+	rt := New(ModeReal, machine.DefaultA100(4))
+	rt.SetWorkerPool(4)
+	var fact ir.Factory
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{4})
+
+	tiny := fact.NewStore("tiny", []int{4})
+	tinyPart := ir.NewTiling(launch, []int{4}, []int{1}, []int{0}, nil, nil)
+	rt.Execute(&ir.Task{Name: "fill", Launch: launch, Kernel: randomKernel(1, 1),
+		Args: []ir.Arg{{Store: tiny, Part: tinyPart, Priv: ir.Write}}})
+	st := rt.ExecStats()
+	if st.InlineTasks != 1 || st.PoolTasks != 0 {
+		t.Fatalf("tiny task should run inline: %+v", st)
+	}
+
+	const ext = 1 << 15
+	big := fact.NewStore("big", []int{4 * ext})
+	bigPart := ir.NewTiling(launch, []int{4 * ext}, []int{ext}, []int{0}, nil, nil)
+	rt.Execute(&ir.Task{Name: "fill", Launch: launch, Kernel: randomKernel(2, ext),
+		Args: []ir.Arg{{Store: big, Part: bigPart, Priv: ir.Write}}})
+	st = rt.ExecStats()
+	if st.PoolTasks != 1 {
+		t.Fatalf("big task should use the pool: %+v", st)
+	}
+	if st.Chunks == 0 {
+		t.Fatalf("pool dispatch should claim chunks: %+v", st)
+	}
+}
+
+// TestPlanInvalidationOnFreeStore checks that freeing a store drops cached
+// plans that resolved into its region: re-executing the same kernel must
+// write the store's fresh region, not the orphaned buffer.
+func TestPlanInvalidationOnFreeStore(t *testing.T) {
+	rt := New(ModeReal, machine.DefaultA100(4))
+	var fact ir.Factory
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{4})
+	s := fact.NewStore("s", []int{16})
+	tp := ir.NewTiling(launch, []int{16}, []int{4}, []int{0}, nil, nil)
+	k := randomKernel(3, 4)
+	task := &ir.Task{Name: "fill", Launch: launch, Kernel: k,
+		Args: []ir.Arg{{Store: s, Part: tp, Priv: ir.Write}}}
+
+	rt.Execute(task)
+	want := rt.ReadAll(s)
+	rt.FreeStore(s.ID())
+	rt.Execute(task) // same kernel pointer: a stale plan would hit the orphan
+	got := rt.ReadAll(s)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("s[%d] = %g after free+re-execute, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -4,15 +4,26 @@
 // layer has processed them), maintains coherence of distributed data via
 // last-writer tracking, and executes point tasks either:
 //
-//   - for real (ModeReal): point tasks run in parallel on a worker pool
-//     over actual float64 buffers, producing real numerics — this is what
-//     the test suite and the real micro-benchmarks use; or
+//   - for real (ModeReal): point tasks run over actual float64 buffers on
+//     a persistent, NumCPU-sized worker pool (executor.go). The launch
+//     domain is grouped into cache-friendly chunks of contiguous colors
+//     sized by the machine cost model; workers claim chunks from their own
+//     range and steal from others' when dry, tasks cheaper than a dispatch
+//     run inline on the submitter, and binding state (regions, strides,
+//     tiling coefficients, scratch) is pre-resolved once per task shape
+//     and reused across the fused task stream. Reductions accumulate into
+//     per-point partial cells folded in point order at the barrier, so
+//     results are bit-identical under any scheduling. The v1 executor —
+//     one goroutine per point task — survives as ExecPerPoint, the
+//     measured baseline of BENCH_real.json.
 //   - simulated (ModeSim): no data is allocated; the task stream drives
 //     the machine cost model (internal/machine) so weak-scaling studies up
 //     to 128 simulated GPUs run on a laptop.
 //
-// Both modes honour identical privilege/coherence semantics, so a fusion
-// decision that is legal in one is legal in the other.
+// Both modes honour identical privilege/coherence semantics and share one
+// task protocol end to end (the same Execute entry point, dependence
+// analysis, and compiled kernels), so a fusion decision that is legal in
+// one is legal in the other.
 package legion
 
 import (
@@ -94,7 +105,16 @@ type Runtime struct {
 	compiled map[*kir.Kernel]*kir.Compiled
 
 	workers int
-	scratch sync.Pool
+	scratch sync.Pool // per-point-baseline scratch recycling
+
+	// Real-mode executor state (see executor.go): the persistent worker
+	// pool, the active scheduling policy, the cached execution plans, and
+	// the free-epoch that lazily invalidates their region resolution (all
+	// guarded by execMu, like everything else on the execution path).
+	exec      *executor
+	policy    ExecPolicy
+	plans     map[*kir.Kernel]*taskPlan
+	freeEpoch int64
 
 	// ExecutedTasks counts index tasks that reached the runtime (post
 	// fusion); used by the Fig. 9 accounting.
@@ -119,6 +139,9 @@ func New(mode Mode, cfg machine.Config) *Runtime {
 		workers:  runtime.GOMAXPROCS(0),
 	}
 	rt.scratch.New = func() any { return kir.NewScratch() }
+	if mode == ModeReal {
+		rt.attachExecutor()
+	}
 	return rt
 }
 
@@ -176,12 +199,17 @@ func redIdentity(op ir.ReduceOp) float64 {
 	}
 }
 
-// FreeStore drops the region of a dead store.
+// FreeStore drops the region of a dead store and advances the free-epoch:
+// cached execution plans re-resolve their regions on next use instead of
+// executing against an orphaned buffer. Bumping an epoch (rather than
+// scanning the plan cache) keeps frees O(1) — iterative apps free dozens
+// of temporaries per iteration.
 func (rt *Runtime) FreeStore(id ir.StoreID) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
 	delete(rt.writers, id)
 	delete(rt.pendRed, id)
+	rt.freeEpoch++
 	rt.mu.Lock()
 	delete(rt.regions, id)
 	rt.mu.Unlock()

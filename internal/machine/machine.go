@@ -54,6 +54,17 @@ type Config struct {
 	// charge.
 	CompileBase  float64
 	CompilePerOp float64
+
+	// ChunkGrain and InlineCutoff drive the real-mode executor's point
+	// scheduling (internal/legion). ChunkGrain is the target duration of
+	// one dispatch chunk: enough work to amortize claim/steal traffic but
+	// short enough that stealing rebalances stragglers. InlineCutoff is
+	// the whole-task duration below which dispatching to the pool costs
+	// more than the task itself; such tasks run inline on the submitter.
+	// Both are zero for simulated-cluster configs (ModeSim never uses
+	// them); HostExec sets them.
+	ChunkGrain   float64
+	InlineCutoff float64
 }
 
 // DefaultA100 returns constants calibrated to the paper's testbed. The
@@ -75,6 +86,50 @@ func DefaultA100(gpus int) Config {
 		CompileBase:     2.5e-2, // MLIR pass pipeline fixed cost
 		CompilePerOp:    1.2e-3, // per-operation lowering cost
 	}
+}
+
+// HostExec returns constants approximating one host CPU core executing
+// interpreted kir kernels — the cost model the real-mode executor
+// (internal/legion) uses to derive chunk granularity. The absolute values
+// matter far less than their ratios: the evaluator dispatches a handful of
+// register instructions per element, so its effective "bandwidth" is two
+// to three orders of magnitude below the silicon's. workers is the pool
+// size (GOMAXPROCS for the real executor).
+func HostExec(workers int) Config {
+	return Config{
+		GPUs:         workers,
+		GPUsPerNode:  workers,
+		MemBW:        2.5e9, // interpreted element loop: ~150M elems/s × ~16 B
+		FlopRate:     4.0e8, // interpreted scalar op incl. dispatch
+		KernelLaunch: 2.0e-7,
+		ChunkGrain:   4.0e-5, // ~40 µs of work per dispatch chunk
+		InlineCutoff: 2.0e-5, // tasks under ~20 µs run on the submitter
+	}
+}
+
+// ChunkPoints converts a per-point-task cost estimate into the executor's
+// dispatch granularity: how many contiguous point-task colors to group into
+// one chunk, and whether the whole task is small enough to run inline on
+// the submitting goroutine. Chunks aim at ChunkGrain seconds of work but
+// are capped so that, when the launch is wide enough, every worker gets at
+// least one chunk (work-stealing then fixes any imbalance).
+func (c Config) ChunkPoints(perPointSec float64, npoints, workers int) (chunk int, inline bool) {
+	// A pool of one worker can never beat the submitting goroutine doing
+	// the work itself; on single-CPU hosts everything runs inline.
+	if workers <= 1 || npoints <= 1 || perPointSec*float64(npoints) < c.InlineCutoff {
+		return npoints, true
+	}
+	chunk = 1
+	if perPointSec > 0 {
+		chunk = int(c.ChunkGrain / perPointSec)
+	}
+	if per := (npoints + workers - 1) / workers; chunk > per {
+		chunk = per
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk, false
 }
 
 // MPIConfig returns constants for the PETSc/MPI baseline: the same silicon
@@ -152,9 +207,17 @@ func (s *Sim) Time() float64 {
 	return t
 }
 
+// PointCost converts a per-point traffic/flop estimate into seconds on
+// this configuration's execution units (the same bandwidth/flop-rate/launch
+// model the simulation charges; the real-mode executor evaluates it against
+// HostExec constants to size dispatch chunks).
+func (c Config) PointCost(bytes, flops float64, launches int) float64 {
+	return float64(launches)*c.KernelLaunch + bytes/c.MemBW + flops/c.FlopRate
+}
+
 // ComputeCost converts a per-point traffic/flop estimate into seconds.
 func (s *Sim) ComputeCost(bytes, flops float64, launches int) float64 {
-	return float64(launches)*s.Cfg.KernelLaunch + bytes/s.Cfg.MemBW + flops/s.Cfg.FlopRate
+	return s.Cfg.PointCost(bytes, flops, launches)
 }
 
 // IndexTask advances the simulation by one index task with nPoints point
