@@ -4,6 +4,23 @@ import (
 	"fmt"
 
 	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// DType is the element type of an array (and its backing store).
+type DType = kir.DType
+
+// Element types.
+const (
+	// F64 is IEEE-754 binary64, the default.
+	F64 = kir.F64
+	// F32 is IEEE-754 binary32: half the memory traffic of F64 on
+	// bandwidth-bound kernels; loads widen to float64 in the evaluator and
+	// stores round to nearest.
+	F32 = kir.F32
+	// I32 is a saturating 32-bit signed integer (masks, histograms, index
+	// arithmetic).
+	I32 = kir.I32
 )
 
 // Array is a distributed array handle: a view (offset, shape, stride) into
@@ -19,10 +36,10 @@ type Array struct {
 	ephemeral bool
 }
 
-// newArray allocates a fresh store-backed array; the handle holds the
-// store's single application reference.
-func (c *Context) newArray(name string, shape []int, ephemeral bool) *Array {
-	st := c.rt.NewStore(name, shape)
+// newArray allocates a fresh store-backed array of the given element type;
+// the handle holds the store's single application reference.
+func (c *Context) newArray(name string, dt DType, shape []int, ephemeral bool) *Array {
+	st := c.rt.NewStoreTyped(name, shape, dt)
 	return &Array{
 		ctx:       c,
 		store:     st,
@@ -43,6 +60,9 @@ func onesOf(n int) []int {
 
 // Shape returns the view extents.
 func (a *Array) Shape() []int { return a.shape }
+
+// DType returns the element type of the array's backing store.
+func (a *Array) DType() DType { return a.st().DType() }
 
 // Rank returns the view dimensionality.
 func (a *Array) Rank() int { return len(a.shape) }
@@ -232,14 +252,31 @@ func (a *Array) ToHost() []float64 {
 	a.ctx.sess.FlushStore(a.st())
 	raw := a.ctx.rt.Legion().ReadAll(a.store)
 	out := make([]float64, a.Size())
+	a.gatherView(len(out), func(i, off int) { out[i] = raw[off] })
+	return out
+}
+
+// ToHost32 is ToHost in float32: exact for F32 arrays (no widening copy),
+// rounded for wider ones. ModeReal only.
+func (a *Array) ToHost32() []float32 {
+	a.ctx.sess.FlushStore(a.st())
+	raw := a.ctx.rt.Legion().ReadAll32(a.store)
+	out := make([]float32, a.Size())
+	a.gatherView(len(out), func(i, off int) { out[i] = raw[off] })
+	return out
+}
+
+// gatherView walks the view row-major, invoking visit with each view index
+// and its flat canonical-store offset.
+func (a *Array) gatherView(n int, visit func(i, off int)) {
 	strides := a.store.Strides()
 	idx := make([]int, a.Rank())
-	for i := 0; i < len(out); i++ {
+	for i := 0; i < n; i++ {
 		off := 0
 		for d := range idx {
 			off += (a.offset[d] + idx[d]*a.stride[d]) * strides[d]
 		}
-		out[i] = raw[off]
+		visit(i, off)
 		for d := a.Rank() - 1; d >= 0; d-- {
 			idx[d]++
 			if idx[d] < a.shape[d] {
@@ -248,12 +285,11 @@ func (a *Array) ToHost() []float64 {
 			idx[d] = 0
 		}
 	}
-	return out
 }
 
 // FromHost forces the tasks touching this store and overwrites the full
-// backing store (the view must be the whole store). ModeReal only;
-// intended for test and example setup.
+// backing store, rounding to the array's dtype (the view must be the whole
+// store). ModeReal only; intended for test and example setup.
 func (a *Array) FromHost(data []float64) {
 	if a.Size() != a.st().Size() {
 		panic("cunum: FromHost requires a whole-store view")
@@ -262,9 +298,26 @@ func (a *Array) FromHost(data []float64) {
 	a.ctx.rt.Legion().WriteAll(a.store, data)
 }
 
+// FromHost32 is FromHost from float32 host data.
+func (a *Array) FromHost32(data []float32) {
+	if a.Size() != a.st().Size() {
+		panic("cunum: FromHost32 requires a whole-store view")
+	}
+	a.ctx.sess.FlushStore(a.store)
+	a.ctx.rt.Legion().WriteAll32(a.store, data)
+}
+
 // Get reads one element, forcing only the tasks the view depends on.
-// ModeReal only.
+// ModeReal only; in ModeSim no data exists and Get returns 0 (the
+// underlying legion.ReadAt reports the distinction — use GetOK to observe
+// it).
 func (a *Array) Get(idx ...int) float64 {
+	v, _ := a.GetOK(idx...)
+	return v
+}
+
+// GetOK reads one element; ok is false in ModeSim, where no data exists.
+func (a *Array) GetOK(idx ...int) (v float64, ok bool) {
 	if len(idx) != a.Rank() {
 		panic("cunum: Get rank mismatch")
 	}
@@ -274,11 +327,37 @@ func (a *Array) Get(idx ...int) float64 {
 }
 
 // Scalar reads a shape-[1] array's value, forcing only its dependency
-// closure. ModeReal returns the value; ModeSim returns 0. Prefer Future
-// when the value is not needed immediately: a future keeps even the forced
-// flush out of the submitting stream until Value is called.
+// closure. ModeReal returns the value; ModeSim returns 0 (ScalarOK reports
+// the distinction). Prefer Future when the value is not needed
+// immediately: a future keeps even the forced flush out of the submitting
+// stream until Value is called.
 func (a *Array) Scalar() float64 {
+	v, _ := a.ScalarOK()
+	return v
+}
+
+// ScalarOK reads a shape-[1] array's value; ok is false in ModeSim.
+func (a *Array) ScalarOK() (v float64, ok bool) {
 	off := a.viewOffset(nil)
 	a.ctx.sess.FlushStore(a.st())
 	return a.ctx.rt.Legion().ReadAt(a.store, off)
+}
+
+// AsType returns a copy of the array converted to the given element type —
+// the explicit cast boundary of the dtype system. The emitted kernel
+// carries an explicit cast expression, which is what entitles it (and only
+// it) to fuse into prefixes that span both element types; everything
+// downstream of the result runs at the new precision. AsType to the
+// array's own dtype is a plain copy.
+func (a *Array) AsType(dt DType) *Array {
+	switch dt {
+	case F64:
+		return ApplyOp("astype_f64", []*Array{a})
+	case F32:
+		return ApplyOp("astype_f32", []*Array{a})
+	case I32:
+		return ApplyOp("astype_i32", []*Array{a})
+	default:
+		panic(fmt.Sprintf("cunum: AsType to unknown dtype %v", dt))
+	}
 }

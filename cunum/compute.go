@@ -22,7 +22,7 @@ func Compute(name string, ins []*Array, build func(loads []*kir.Expr) *kir.Expr)
 			break
 		}
 	}
-	out := c.newArray(name, base.shape, true)
+	out := c.newArray(name, promoteDType(ins), base.shape, true)
 	c.emitMap(name, out, ins, build)
 	consume(dedup(ins...)...)
 	return out

@@ -5,44 +5,73 @@ import (
 	"diffuse/internal/kir"
 )
 
-// Zeros returns a new array of the given shape filled with zeros.
-func (c *Context) Zeros(shape ...int) *Array {
-	a := c.newArray("zeros", shape, false)
+// Zeros returns a new float64 array of the given shape filled with zeros.
+func (c *Context) Zeros(shape ...int) *Array { return c.ZerosT(F64, shape...) }
+
+// ZerosT returns a new array of the given element type filled with zeros.
+func (c *Context) ZerosT(dt DType, shape ...int) *Array {
+	a := c.newArray("zeros", dt, shape, false)
 	a.Fill(0)
 	return a
 }
 
-// Ones returns a new array filled with ones.
-func (c *Context) Ones(shape ...int) *Array {
-	a := c.newArray("ones", shape, false)
+// Ones returns a new float64 array filled with ones.
+func (c *Context) Ones(shape ...int) *Array { return c.OnesT(F64, shape...) }
+
+// OnesT returns a new array of the given element type filled with ones.
+func (c *Context) OnesT(dt DType, shape ...int) *Array {
+	a := c.newArray("ones", dt, shape, false)
 	a.Fill(1)
 	return a
 }
 
-// Full returns a new array filled with v.
-func (c *Context) Full(v float64, shape ...int) *Array {
-	a := c.newArray("full", shape, false)
+// Full returns a new float64 array filled with v.
+func (c *Context) Full(v float64, shape ...int) *Array { return c.FullT(F64, v, shape...) }
+
+// FullT returns a new array of the given element type filled with v
+// (rounded to the dtype).
+func (c *Context) FullT(dt DType, v float64, shape ...int) *Array {
+	a := c.newArray("full", dt, shape, false)
 	a.Fill(v)
 	return a
 }
 
-// Empty returns an uninitialized array (a target for Assign).
-func (c *Context) Empty(shape ...int) *Array {
-	return c.newArray("empty", shape, false)
+// Empty returns an uninitialized float64 array (a target for Assign).
+func (c *Context) Empty(shape ...int) *Array { return c.EmptyT(F64, shape...) }
+
+// EmptyT returns an uninitialized array of the given element type.
+func (c *Context) EmptyT(dt DType, shape ...int) *Array {
+	return c.newArray("empty", dt, shape, false)
 }
 
-// Scalar returns a shape-[1] array holding v.
-func (c *Context) Scalar(v float64) *Array {
-	a := c.newArray("scalar", []int{1}, false)
+// Scalar returns a shape-[1] float64 array holding v.
+func (c *Context) Scalar(v float64) *Array { return c.ScalarT(F64, v) }
+
+// ScalarT returns a shape-[1] array of the given element type holding v.
+// Typed scalars matter because operations require uniform operand dtypes:
+// an f32 solver threads f32 scalar coefficients.
+func (c *Context) ScalarT(dt DType, v float64) *Array {
+	a := c.newArray("scalar", dt, []int{1}, false)
 	a.Fill(v)
 	return a
 }
 
-// Random returns a new array of deterministic pseudo-random values in
-// [0, 1). The values depend only on the seed and element coordinates, not
-// on the processor decomposition.
+// Random returns a new float64 array of deterministic pseudo-random values
+// in [0, 1). The values depend only on the seed and element coordinates,
+// not on the processor decomposition.
 func (c *Context) Random(seed uint64, shape ...int) *Array {
-	a := c.newArray("random", shape, false)
+	return c.RandomT(F64, seed, shape...)
+}
+
+// RandomT is Random with an explicit element type; generated values are
+// rounded to the dtype on store. I32 is rejected: every value in [0, 1)
+// truncates to zero, which can only be a mistake — build integer data
+// with ArangeT or an f64/f32 Random chain followed by AsType(I32).
+func (c *Context) RandomT(dt DType, seed uint64, shape ...int) *Array {
+	if dt == I32 {
+		panic("cunum: RandomT(I32) would truncate every value in [0,1) to zero; use ArangeT or Random(...).MulC(k).AsType(I32)")
+	}
+	a := c.newArray("random", dt, shape, false)
 	launch := c.launchFor(a.Rank())
 	k := kir.NewKernel("random", 1)
 	k.AddLoop(&kir.Loop{
@@ -61,10 +90,18 @@ func (c *Context) Random(seed uint64, shape ...int) *Array {
 	return a
 }
 
-// FromSlice builds an array from host data (row-major). ModeReal only;
-// intended for tests and examples.
+// FromSlice builds a float64 array from host data (row-major). ModeReal
+// only; intended for tests and examples.
 func (c *Context) FromSlice(data []float64, shape ...int) *Array {
 	a := c.Empty(shape...)
 	a.FromHost(data)
+	return a
+}
+
+// FromSlice32 builds an f32 array from float32 host data (row-major).
+// ModeReal only.
+func (c *Context) FromSlice32(data []float32, shape ...int) *Array {
+	a := c.EmptyT(F32, shape...)
+	a.FromHost32(data)
 	return a
 }

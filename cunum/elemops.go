@@ -21,6 +21,59 @@ type ElemOp struct {
 	Arity  int
 	Consts int
 	Build  func(loads []*kir.Expr, consts []float64) *kir.Expr
+	// Out selects the result dtype of ApplyOp. The zero value (OutSame)
+	// follows NumPy-style promotion over the input dtypes; the fixed
+	// variants pin the result type — the astype_* entries and mask- or
+	// index-producing ops use them. ApplyOpInto ignores Out (the explicit
+	// destination's dtype wins).
+	Out OutDType
+}
+
+// OutDType selects a registered op's result element type.
+type OutDType uint8
+
+// Result-dtype selectors.
+const (
+	// OutSame takes the promoted dtype of the inputs (F64 ≻ F32 ≻ I32).
+	OutSame OutDType = iota
+	// OutF64 pins the result to float64.
+	OutF64
+	// OutF32 pins the result to float32.
+	OutF32
+	// OutI32 pins the result to int32.
+	OutI32
+)
+
+func (o OutDType) resolve(promoted DType) DType {
+	switch o {
+	case OutF64:
+		return F64
+	case OutF32:
+		return F32
+	case OutI32:
+		return I32
+	default:
+		return promoted
+	}
+}
+
+// promoteDType returns the widest input dtype (F64 ≻ F32 ≻ I32) — the
+// result type of mixed-operand operations under OutSame. Empty input
+// lists (generator ops) default to F64.
+func promoteDType(ins []*Array) DType {
+	if len(ins) == 0 {
+		return F64
+	}
+	dt := I32
+	for _, in := range ins {
+		switch in.st().DType() {
+		case F64:
+			return F64
+		case F32:
+			dt = F32
+		}
+	}
+	return dt
 }
 
 var elemOps = struct {
@@ -97,7 +150,7 @@ func ApplyOp(name string, ins []*Array, consts ...float64) *Array {
 		panic("cunum: ApplyOp requires at least one input (use ApplyOpInto for generators)")
 	}
 	base := broadcastBase(ins)
-	out := base.ctx.newArray(name, base.shape, true)
+	out := base.ctx.newArray(name, op.Out.resolve(promoteDType(ins)), base.shape, true)
 	base.ctx.emitMap(name, out, ins, func(l []*kir.Expr) *kir.Expr {
 		return op.Build(l, consts)
 	})
@@ -192,6 +245,20 @@ func init() {
 	// registry (no dedicated emitter needed).
 	RegisterElemOp(ElemOp{Name: "fma", Arity: 3, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
 		return kir.Binary(kir.OpAdd, kir.Binary(kir.OpMul, l[0], l[1]), l[2])
+	}})
+	// The astype_* family behind Array.AsType. The builders are identity —
+	// the result dtype pins the conversion, and emitMap wraps the stored
+	// expression in an explicit kir cast whenever input and output dtypes
+	// differ, which is what lets these tasks (and only tasks like them)
+	// fuse across a dtype boundary.
+	RegisterElemOp(ElemOp{Name: "astype_f64", Arity: 1, Out: OutF64, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return l[0]
+	}})
+	RegisterElemOp(ElemOp{Name: "astype_f32", Arity: 1, Out: OutF32, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return l[0]
+	}})
+	RegisterElemOp(ElemOp{Name: "astype_i32", Arity: 1, Out: OutI32, Build: func(l []*kir.Expr, _ []float64) *kir.Expr {
+		return l[0]
 	}})
 }
 

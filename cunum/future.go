@@ -15,11 +15,12 @@ import "diffuse/internal/ir"
 // was created from. Like the context it came from, a Future must be used
 // from a single goroutine.
 type Future struct {
-	ctx   *Context
-	store *ir.Store
-	off   int
-	state futureState
-	value float64
+	ctx     *Context
+	store   *ir.Store
+	off     int
+	state   futureState
+	value   float64
+	valueOK bool
 }
 
 type futureState int
@@ -45,19 +46,29 @@ func (a *Array) Future(idx ...int) *Future {
 
 // Value forces the tasks the future's element transitively depends on
 // (leaving unrelated buffered work pending), reads the element, releases
-// the future's store reference, and caches the result. ModeSim returns 0.
+// the future's store reference, and caches the result. ModeSim returns 0;
+// use ValueOK when the caller must distinguish a real zero from a
+// simulated read.
 func (f *Future) Value() float64 {
+	v, _ := f.ValueOK()
+	return v
+}
+
+// ValueOK is Value with an explicit validity report: ok is false when the
+// runtime executes in ModeSim, where no data exists and the 0 returned is
+// a placeholder (legion.ReadAt's contract).
+func (f *Future) ValueOK() (v float64, ok bool) {
 	switch f.state {
 	case futureResolved:
-		return f.value
+		return f.value, f.valueOK
 	case futureReleased:
 		panic("cunum: Value on released future")
 	}
 	f.ctx.sess.FlushStore(f.store)
-	f.value = f.ctx.rt.Legion().ReadAt(f.store, f.off)
+	f.value, f.valueOK = f.ctx.rt.Legion().ReadAt(f.store, f.off)
 	f.state = futureResolved
 	f.drop()
-	return f.value
+	return f.value, f.valueOK
 }
 
 // Resolved reports whether Value has already been forced.

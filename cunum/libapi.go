@@ -9,9 +9,16 @@ import (
 // runtime — the paper's composition-across-libraries story: both libraries
 // emit tasks into one window, so Diffuse fuses across their boundary.
 
-// NewDistArray allocates a distributed array handle for library authors.
+// NewDistArray allocates a float64 distributed array handle for library
+// authors.
 func (c *Context) NewDistArray(name string, shape []int, ephemeral bool) *Array {
-	return c.newArray(name, shape, ephemeral)
+	return c.newArray(name, F64, shape, ephemeral)
+}
+
+// NewDistArrayT allocates a distributed array handle with an explicit
+// element type.
+func (c *Context) NewDistArrayT(name string, dt DType, shape []int, ephemeral bool) *Array {
+	return c.newArray(name, dt, shape, ephemeral)
 }
 
 // Partition returns the Tiling partition the view is accessed through on

@@ -32,7 +32,10 @@ func MatVec(A, x *Array) *Array {
 		panic(fmt.Sprintf("cunum: MatVec dimension mismatch (%d,%d) x %d", m, n, x.shape[0]))
 	}
 	launch := c.launchFor(1)
-	y := c.newArray("matvec", []int{m}, true)
+	// The product vector takes the promoted operand dtype: an f32 matrix
+	// against an f32 vector yields an f32 result (and runs the evaluator's
+	// f32 GEMV fast path — half the memory traffic of f64).
+	y := c.newArray("matvec", promoteDType([]*Array{A, x}), []int{m}, true)
 
 	rowTile := ceilDiv(m, c.procs)
 	apart := ir.NewTiling(launch, A.shape, []int{rowTile, n}, A.offset, A.stride, rows2dProj)

@@ -9,6 +9,13 @@ import (
 // Scalar (shape-[1]) inputs broadcast through replicated None partitions
 // and are loaded once per element with LoadScalar; everything else must
 // match out's view shape and is accessed through its Tiling partition.
+//
+// Mixed element types are legal but always explicit: when any input's
+// dtype differs from the destination's, the stored expression is wrapped
+// in an explicit kir cast to the destination dtype. The cast changes
+// nothing numerically (the store rounds regardless) but marks the kernel
+// as a dtype boundary, which is what the fusion constraint requires for a
+// mixed-dtype task to join a fused prefix.
 func (c *Context) emitMap(name string, out *Array, ins []*Array, build func(loads []*kir.Expr) *kir.Expr) {
 	out.st()
 	outScalar := out.IsScalar()
@@ -40,16 +47,31 @@ func (c *Context) emitMap(name string, out *Array, ins []*Array, build func(load
 	}
 	args = append(args, ir.Arg{Store: out.store, Part: outPart, Priv: ir.Write})
 
+	e := castIfMixed(out, ins, build(loads))
 	k := kir.NewKernel(name, len(args))
 	k.AddLoop(&kir.Loop{
 		Kind:   kir.LoopElem,
 		Dom:    out.domSig(),
 		Ext:    out.tileExt(),
 		ExtRef: outIdx,
-		Stmts:  []kir.Stmt{{Kind: kir.KStore, Param: outIdx, E: build(loads)}},
+		Stmts:  []kir.Stmt{{Kind: kir.KStore, Param: outIdx, E: e}},
 	})
 
 	c.sess.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
+}
+
+// castIfMixed wraps the stored expression in an explicit cast to the
+// destination's dtype when any input's dtype differs — the single place
+// the dtype-boundary marker is minted for both maps and reductions. The
+// cast changes nothing numerically (the store rounds regardless); it is
+// what entitles the mixed-dtype task to fuse across the boundary.
+func castIfMixed(out *Array, ins []*Array, e *kir.Expr) *kir.Expr {
+	for _, in := range ins {
+		if in.st().DType() != out.st().DType() {
+			return kir.Cast(out.store.DType(), e)
+		}
+	}
+	return e
 }
 
 func dedup(arrays ...*Array) []*Array {

@@ -7,9 +7,13 @@ import (
 	"diffuse/internal/kir"
 )
 
-// Arange returns a fresh 1-D array holding 0, 1, ..., n-1.
-func (c *Context) Arange(n int) *Array {
-	a := c.newArray("arange", []int{n}, false)
+// Arange returns a fresh 1-D float64 array holding 0, 1, ..., n-1.
+func (c *Context) Arange(n int) *Array { return c.ArangeT(F64, n) }
+
+// ArangeT is Arange with an explicit element type (I32 gives a NumPy-style
+// integer index vector).
+func (c *Context) ArangeT(dt DType, n int) *Array {
+	a := c.newArray("arange", dt, []int{n}, false)
 	launch := c.launchFor(1)
 	k := kir.NewKernel("arange", 1)
 	k.AddLoop(&kir.Loop{
@@ -69,7 +73,7 @@ func (a *Array) axisReduce(name string, red kir.RedOp) *Array {
 	}
 	m, n := a.shape[0], a.shape[1]
 	launch := c.launchFor(1)
-	y := c.newArray(name, []int{m}, true)
+	y := c.newArray(name, a.store.DType(), []int{m}, true)
 	rowTile := ceilDiv(m, c.procs)
 	apart := ir.NewTiling(launch, a.shape, []int{rowTile, n}, a.offset, a.stride, rows2dProj)
 	args := []ir.Arg{

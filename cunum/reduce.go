@@ -14,7 +14,10 @@ import (
 func (c *Context) emitReduce(name string, red ir.ReduceOp, kred kir.RedOp, ins []*Array, build func(loads []*kir.Expr) *kir.Expr) *Array {
 	base := ins[0]
 	launch := c.launchFor(base.Rank())
-	out := c.newArray(name, []int{1}, true)
+	// The reduction cell takes the promoted input dtype: an f32 stream's
+	// norm is an f32 scalar, so downstream consumers (axpy coefficients)
+	// stay in the f32 stream without implicit widening.
+	out := c.newArray(name, promoteDType(ins), []int{1}, true)
 
 	args := make([]ir.Arg, 0, len(ins)+1)
 	loads := make([]*kir.Expr, len(ins))
@@ -27,13 +30,14 @@ func (c *Context) emitReduce(name string, red ir.ReduceOp, kred kir.RedOp, ins [
 	outIdx := len(ins)
 	args = append(args, ir.Arg{Store: out.store, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: red})
 
+	e := castIfMixed(out, ins, build(loads))
 	k := kir.NewKernel(name, len(args))
 	k.AddLoop(&kir.Loop{
 		Kind:   kir.LoopElem,
 		Dom:    base.domSig(),
 		Ext:    base.tileExt(),
 		ExtRef: 0,
-		Stmts:  []kir.Stmt{{Kind: kir.KReduce, Param: outIdx, E: build(loads), Red: kred}},
+		Stmts:  []kir.Stmt{{Kind: kir.KReduce, Param: outIdx, E: e, Red: kred}},
 	})
 	c.sess.Submit(&ir.Task{Name: name, Launch: launch, Args: args, Kernel: k})
 	consume(dedup(ins...)...)

@@ -22,13 +22,13 @@ const (
 // buildPoisson assembles the 5-point Laplacian.
 func buildPoisson(ctx *cunum.Context, n int) *sparse.CSR {
 	N := n * n
-	rowptr := make([]int64, N+1)
-	var col []int32
+	rowptr := make([]int, N+1)
+	var col []int
 	var val []float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			r := i*n + j
-			add := func(c int, v float64) { col = append(col, int32(c)); val = append(val, v) }
+			add := func(c int, v float64) { col = append(col, c); val = append(val, v) }
 			if i > 0 {
 				add(r-n, -1)
 			}
@@ -42,7 +42,7 @@ func buildPoisson(ctx *cunum.Context, n int) *sparse.CSR {
 			if i < n-1 {
 				add(r+n, -1)
 			}
-			rowptr[r+1] = int64(len(col))
+			rowptr[r+1] = len(col)
 		}
 	}
 	return sparse.New(ctx, "poisson", N, N, rowptr, col, val)

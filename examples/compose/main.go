@@ -22,17 +22,17 @@ func main() {
 
 	// A small 1-D Laplacian chain graph in the sparse library.
 	n := 1 << 12
-	rowptr := make([]int64, n+1)
-	var col []int32
+	rowptr := make([]int, n+1)
+	var col []int
 	var val []float64
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			col = append(col, int32(i-1))
+			col = append(col, i-1)
 			val = append(val, 0.5)
 		}
-		col = append(col, int32(i))
+		col = append(col, i)
 		val = append(val, 0.5)
-		rowptr[i+1] = int64(len(col))
+		rowptr[i+1] = len(col)
 	}
 	A := sparse.New(ctx, "chain", n, n, rowptr, col, val)
 

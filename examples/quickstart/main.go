@@ -28,6 +28,12 @@ func main() {
 	fmt.Printf("v[0]     = %g (want 1)\n", v.Get(0))
 	fmt.Printf("||w[h:]|| = %g (want %g)\n", nrm.Value(), 181.01933598375618)
 
+	// Typed values: an explicit cast moves the stream to float32 — half
+	// the memory traffic — and fuses into the window like any other op.
+	f := v.AsType(cunum.F32).MulC(3).Keep()
+	fmt.Printf("f32 chain = %g (dtype %v, want 3)\n", f.Get(0), f.DType())
+	f.Free()
+
 	st := rt.Stats()
 	fmt.Printf("\nDiffuse: %d tasks submitted -> %d executed (%d fusions covering %d tasks, %d temporaries eliminated)\n",
 		st.Submitted, st.Emitted, st.FusedTasks, st.FusedOriginals, st.TempsEliminated)

@@ -25,14 +25,22 @@ type BlackScholes struct {
 }
 
 // NewBlackScholes creates per-GPU n options with deterministic pseudo-
-// random market data.
+// random market data in float64.
 func NewBlackScholes(ctx *cunum.Context, nPerProc int) *BlackScholes {
+	return NewBlackScholesT(ctx, nPerProc, cunum.F64)
+}
+
+// NewBlackScholesT is NewBlackScholes with an explicit element type: the
+// market data arrays take dt, and since every downstream operation follows
+// its operands' dtype, the whole fused pricing chain runs at that
+// precision — the f32 column of the real-mode benchmark suite.
+func NewBlackScholesT(ctx *cunum.Context, nPerProc int, dt cunum.DType) *BlackScholes {
 	n := nPerProc * ctx.Procs()
 	b := &BlackScholes{ctx: ctx, R: 0.02, Vol: 0.30}
 	// S in [10, 60), K in [15, 65), T in [0.5, 2.5).
-	b.S = ctx.Random(101, n).MulC(50).AddC(10).Keep()
-	b.K = ctx.Random(102, n).MulC(50).AddC(15).Keep()
-	b.T = ctx.Random(103, n).MulC(2).AddC(0.5).Keep()
+	b.S = ctx.RandomT(dt, 101, n).MulC(50).AddC(10).Keep()
+	b.K = ctx.RandomT(dt, 102, n).MulC(50).AddC(15).Keep()
+	b.T = ctx.RandomT(dt, 103, n).MulC(2).AddC(0.5).Keep()
 	return b
 }
 

@@ -18,13 +18,21 @@ type Jacobi struct {
 	dinv float64
 }
 
-// NewJacobiTotal builds a dense system with n total unknowns (weak-scaled
-// callers pick n so n^2/procs stays constant).
+// NewJacobiTotal builds a float64 dense system with n total unknowns
+// (weak-scaled callers pick n so n^2/procs stays constant).
 func NewJacobiTotal(ctx *cunum.Context, n int) *Jacobi {
+	return NewJacobiTotalT(ctx, n, cunum.F64)
+}
+
+// NewJacobiTotalT is NewJacobiTotal with an explicit element type. The
+// dense matrix dominates the iteration's memory traffic (one full sweep
+// per GEMV), so the f32 variant moves half the bytes per sweep — the
+// bandwidth-bound case of the benchmark suite's f32 column.
+func NewJacobiTotalT(ctx *cunum.Context, n int, dt cunum.DType) *Jacobi {
 	j := &Jacobi{ctx: ctx, dinv: 1.0 / 2.0}
-	j.A = ctx.Random(201, n, n).DivC(float64(n)).Keep()
-	j.B = ctx.Random(202, n).Keep()
-	j.X = ctx.Zeros(n).Keep()
+	j.A = ctx.RandomT(dt, 201, n, n).DivC(float64(n)).Keep()
+	j.B = ctx.RandomT(dt, 202, n).Keep()
+	j.X = ctx.ZerosT(dt, n).Keep()
 	return j
 }
 

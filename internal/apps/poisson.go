@@ -17,14 +17,14 @@ func BuildPoisson2D(ctx *cunum.Context, n int) *sparse.CSR {
 		// Each row block needs the grid row above and below: 2n values.
 		return sparse.Synthetic(ctx, "poisson2d", N, N, 4.96, 16*float64(n))
 	}
-	rowptr := make([]int64, N+1)
-	col := make([]int32, 0, 5*N)
+	rowptr := make([]int, N+1)
+	col := make([]int, 0, 5*N)
 	val := make([]float64, 0, 5*N)
 	for i := 0; i < n; i++ {
 		for jj := 0; jj < n; jj++ {
 			row := i*n + jj
 			add := func(c int, v float64) {
-				col = append(col, int32(c))
+				col = append(col, c)
 				val = append(val, v)
 			}
 			if i > 0 {
@@ -40,7 +40,7 @@ func BuildPoisson2D(ctx *cunum.Context, n int) *sparse.CSR {
 			if i < n-1 {
 				add(row+n, -1)
 			}
-			rowptr[row+1] = int64(len(col))
+			rowptr[row+1] = len(col)
 		}
 	}
 	return sparse.New(ctx, "poisson2d", N, N, rowptr, col, val)
@@ -57,15 +57,15 @@ func BuildInjection2D(ctx *cunum.Context, n int) *sparse.CSR {
 	if ctx.Runtime().Config().Mode == legion.ModeSim {
 		return sparse.Synthetic(ctx, "inject2d", Nc, Nf, 1, 8*float64(n))
 	}
-	rowptr := make([]int64, Nc+1)
-	col := make([]int32, Nc)
+	rowptr := make([]int, Nc+1)
+	col := make([]int, Nc)
 	val := make([]float64, Nc)
 	for ci := 0; ci < nc; ci++ {
 		for cj := 0; cj < nc; cj++ {
 			r := ci*nc + cj
-			col[r] = int32((2*ci+1)*n + (2*cj + 1))
+			col[r] = (2*ci+1)*n + (2*cj + 1)
 			val[r] = 1
-			rowptr[r+1] = int64(r + 1)
+			rowptr[r+1] = r + 1
 		}
 	}
 	return sparse.New(ctx, "inject2d", Nc, Nf, rowptr, col, val)
@@ -89,8 +89,8 @@ func BuildProlongation2D(ctx *cunum.Context, n int) *sparse.CSR {
 	if ctx.Runtime().Config().Mode == legion.ModeSim {
 		return sparse.Synthetic(ctx, "prolong2d", Nf, Nc, 2.25, 8*float64(n/2))
 	}
-	rowptr := make([]int64, Nf+1)
-	col := make([]int32, 0, 4*Nf)
+	rowptr := make([]int, Nf+1)
+	col := make([]int, 0, 4*Nf)
 	val := make([]float64, 0, 4*Nf)
 	for fi := 0; fi < n; fi++ {
 		for fj := 0; fj < n; fj++ {
@@ -101,7 +101,7 @@ func BuildProlongation2D(ctx *cunum.Context, n int) *sparse.CSR {
 			oj := (fj - 1) - 2*cj
 			add := func(ci, cj int, v float64) {
 				if ci >= 0 && ci < nc && cj >= 0 && cj < nc {
-					col = append(col, int32(ci*nc+cj))
+					col = append(col, ci*nc+cj)
 					val = append(val, v)
 				}
 			}
@@ -120,7 +120,7 @@ func BuildProlongation2D(ctx *cunum.Context, n int) *sparse.CSR {
 				add(ci, cj+1, 0.25)
 				add(ci+1, cj+1, 0.25)
 			}
-			rowptr[r+1] = int64(len(col))
+			rowptr[r+1] = len(col)
 		}
 	}
 	return sparse.New(ctx, "prolong2d", Nf, Nc, rowptr, col, val)

@@ -25,7 +25,9 @@ import (
 
 // RealSchema versions the BENCH_real.json layout; bump it when fields
 // change so the CI schema gate fails loudly instead of silently drifting.
-const RealSchema = "diffuse-bench-real/v1"
+// v2 added the dtype column (f32 rows for Black-Scholes and Jacobi) and
+// the f32-vs-f64 ratio on reduced-precision rows.
+const RealSchema = "diffuse-bench-real/v2"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -33,6 +35,7 @@ type RealResult struct {
 	Size  string `json:"size"`
 	N     int    `json:"n"`     // problem parameter (rows, grid side, options)
 	Procs int    `json:"procs"` // launch width: point tasks per index task
+	DType string `json:"dtype"` // element type of the app's arrays (f64/f32)
 	Fused bool   `json:"fused"` // Diffuse fusion enabled
 	Iters int    `json:"iters"` // timed iterations
 
@@ -41,6 +44,11 @@ type RealResult struct {
 	// Speedup is PerPointNsPerIter / ChunkedNsPerIter: the chunked
 	// executor's throughput gain over the per-point-goroutine baseline.
 	Speedup float64 `json:"speedup"`
+
+	// F32SpeedupVsF64 (f32 rows only) is the matching f64 row's chunked
+	// ns/iter divided by this row's — the wall-clock value of halving the
+	// element width on this app/size, >1 when f32 wins.
+	F32SpeedupVsF64 float64 `json:"f32_speedup_vs_f64,omitempty"`
 
 	TasksPerIter float64 `json:"tasks_per_iter"` // index tasks reaching legion
 	// FusionRatio is the fraction of submitted tasks folded into fusions
@@ -65,27 +73,28 @@ type realCase struct {
 	app    string
 	size   string
 	n      int
+	dtype  cunum.DType
 	warmup int
 	iters  int
 	reps   int
-	make   func(ctx *cunum.Context, n int) Instance
+	make   func(ctx *cunum.Context, n int, dt cunum.DType) Instance
 }
 
-func mkCG(ctx *cunum.Context, n int) Instance {
+func mkCG(ctx *cunum.Context, n int, _ cunum.DType) Instance {
 	A := apps.BuildPoisson2D(ctx, n)
 	b := ctx.Ones(A.Rows())
 	return Instance{Ctx: ctx, Iterate: apps.NewCG(ctx, A, b, false).Iterate}
 }
 
-func mkJacobi(ctx *cunum.Context, n int) Instance {
-	return Instance{Ctx: ctx, Iterate: apps.NewJacobiTotal(ctx, n).Iterate}
+func mkJacobi(ctx *cunum.Context, n int, dt cunum.DType) Instance {
+	return Instance{Ctx: ctx, Iterate: apps.NewJacobiTotalT(ctx, n, dt).Iterate}
 }
 
-func mkBlackScholes(ctx *cunum.Context, n int) Instance {
-	return Instance{Ctx: ctx, Iterate: apps.NewBlackScholes(ctx, n).Iterate}
+func mkBlackScholes(ctx *cunum.Context, n int, dt cunum.DType) Instance {
+	return Instance{Ctx: ctx, Iterate: apps.NewBlackScholesT(ctx, n, dt).Iterate}
 }
 
-func mkSWE(ctx *cunum.Context, n int) Instance {
+func mkSWE(ctx *cunum.Context, n int, _ cunum.DType) Instance {
 	return Instance{Ctx: ctx, Iterate: apps.NewSWE(ctx, n, n, false).Iterate}
 }
 
@@ -100,6 +109,11 @@ func realCases(preset string) []realCase {
 		// granularity discussion targets (runtime overhead comparable to
 		// kernel work); "large" is compute-bound on the interpreted
 		// evaluator, bounding the executor's effect from both sides.
+		// Black-Scholes and Jacobi additionally run an f32 column: Jacobi
+		// "large" is the bandwidth-bound case (the n^2 matrix sweep
+		// dominates, and at n=512 the f32 matrix fits a cache level the
+		// f64 one does not), so it is where halving the element width
+		// shows up as wall-clock.
 		return []realCase{
 			{app: "CG", size: "small", n: 16, warmup: 4, iters: 120, reps: 3, make: mkCG},
 			{app: "CG", size: "medium", n: 48, warmup: 4, iters: 60, reps: 3, make: mkCG},
@@ -107,9 +121,15 @@ func realCases(preset string) []realCase {
 			{app: "Jacobi", size: "small", n: 64, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
 			{app: "Jacobi", size: "medium", n: 192, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
 			{app: "Jacobi", size: "large", n: 512, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
+			{app: "Jacobi", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
+			{app: "Jacobi", size: "medium", n: 192, dtype: cunum.F32, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
+			{app: "Jacobi", size: "large", n: 512, dtype: cunum.F32, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
 			{app: "Black-Scholes", size: "small", n: 64, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
 			{app: "Black-Scholes", size: "medium", n: 1024, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
 			{app: "Black-Scholes", size: "large", n: 8192, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
+			{app: "Black-Scholes", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
+			{app: "Black-Scholes", size: "medium", n: 1024, dtype: cunum.F32, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
+			{app: "Black-Scholes", size: "large", n: 8192, dtype: cunum.F32, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
 			{app: "SWE", size: "small", n: 16, warmup: 4, iters: 60, reps: 3, make: mkSWE},
 			{app: "SWE", size: "medium", n: 48, warmup: 3, iters: 30, reps: 3, make: mkSWE},
 			{app: "SWE", size: "large", n: 128, warmup: 3, iters: 10, reps: 2, make: mkSWE},
@@ -118,7 +138,9 @@ func realCases(preset string) []realCase {
 		return []realCase{
 			{app: "CG", size: "tiny", n: 24, warmup: 1, iters: 3, reps: 1, make: mkCG},
 			{app: "Jacobi", size: "tiny", n: 64, warmup: 1, iters: 3, reps: 1, make: mkJacobi},
+			{app: "Jacobi", size: "tiny", n: 64, dtype: cunum.F32, warmup: 1, iters: 3, reps: 1, make: mkJacobi},
 			{app: "Black-Scholes", size: "tiny", n: 256, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
+			{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
 			{app: "SWE", size: "tiny", n: 24, warmup: 1, iters: 3, reps: 1, make: mkSWE},
 		}
 	default:
@@ -141,7 +163,7 @@ func realContext(procs int, fused bool, policy legion.ExecPolicy) *cunum.Context
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
 	ctx := realContext(procs, fused, policy)
-	inst := c.make(ctx, c.n)
+	inst := c.make(ctx, c.n, c.dtype)
 	inst.Iterate(c.warmup) // window growth, JIT, memo saturation
 	ctx.Flush()
 	rt := ctx.Runtime()
@@ -177,8 +199,10 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
 		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %6s %14s %14s %8s %10s %7s\n",
-		"App", "Size", "N", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "Tasks/Iter", "Fusion")
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %6s %14s %14s %8s %8s %10s %7s\n",
+		"App", "Size", "N", "DType", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "Tasks/Iter", "Fusion")
+	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio.
+	f64Chunked := map[string]float64{}
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
@@ -198,16 +222,30 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				tasks, ratio = tpi, fr
 			}
 			res := RealResult{
-				App: c.app, Size: c.size, N: c.n, Procs: procs, Fused: fused,
+				App: c.app, Size: c.size, N: c.n, Procs: procs,
+				DType: c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
 				ChunkedNsPerIter: chunkNs, PerPointNsPerIter: ppNs,
 				Speedup:      ppNs / chunkNs,
 				TasksPerIter: tasks, FusionRatio: ratio,
 			}
+			pairKey := fmt.Sprintf("%s/%s/%v", c.app, c.size, fused)
+			vsF64 := ""
+			switch c.dtype {
+			case cunum.F64:
+				f64Chunked[pairKey] = chunkNs
+			case cunum.F32:
+				// The f64 twin runs earlier in the case list; the ratio is
+				// its chunked time over ours.
+				if base, ok := f64Chunked[pairKey]; ok && chunkNs > 0 {
+					res.F32SpeedupVsF64 = base / chunkNs
+					vsF64 = fmt.Sprintf("%6.2fx", res.F32SpeedupVsF64)
+				}
+			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %6v %14.0f %14.0f %7.2fx %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %6v %14.0f %14.0f %7.2fx %8s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
 	return suite, nil
@@ -222,9 +260,10 @@ func MarshalRealSuite(s *RealSuite) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// realResultKeys are the per-row fields the schema gate requires.
+// realResultKeys are the per-row fields the schema gate requires
+// ("f32_speedup_vs_f64" is optional: it only appears on f32 rows).
 var realResultKeys = []string{
-	"app", "size", "n", "procs", "fused", "iters",
+	"app", "size", "n", "procs", "dtype", "fused", "iters",
 	"chunked_ns_per_iter", "perpoint_ns_per_iter", "speedup",
 	"tasks_per_iter", "fusion_ratio",
 }
@@ -263,6 +302,9 @@ func ValidateRealSuite(data []byte) error {
 	for i, r := range s.Results {
 		if r.App == "" || r.Size == "" || r.Iters <= 0 || r.Procs <= 0 {
 			return fmt.Errorf("bench: result %d has empty identity fields", i)
+		}
+		if r.DType != "f64" && r.DType != "f32" {
+			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)
 		}
 		if r.ChunkedNsPerIter <= 0 || r.PerPointNsPerIter <= 0 || r.Speedup <= 0 {
 			return fmt.Errorf("bench: result %d has non-positive measurements", i)

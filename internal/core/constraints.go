@@ -30,10 +30,18 @@ type storeEffects struct {
 type dataflow struct {
 	launch  ir.Rect
 	effects map[ir.StoreID]*storeEffects
+	// dtypes is the set of element types the prefix touches, and hasCast
+	// whether any admitted kernel contains an explicit cast. The dtype
+	// constraint (beyond Fig. 5's four): a prefix may span several element
+	// types only across an explicit cast — two otherwise-independent f32
+	// and f64 streams in one window must not merge into a single fused
+	// kernel (and hence a single memo entry) by accident of adjacency.
+	dtypes  map[ir.DType]bool
+	hasCast bool
 }
 
 func newDataflow(first *ir.Task) *dataflow {
-	return &dataflow{launch: first.Launch, effects: map[ir.StoreID]*storeEffects{}}
+	return &dataflow{launch: first.Launch, effects: map[ir.StoreID]*storeEffects{}, dtypes: map[ir.DType]bool{}}
 }
 
 func (d *dataflow) eff(s *ir.Store) *storeEffects {
@@ -54,6 +62,12 @@ func (d *dataflow) admits(t *ir.Task) bool {
 	// Opaque tasks (no kernel) cannot be composed by the compiler; treat
 	// them as fusion barriers.
 	if t.Kernel == nil {
+		return false
+	}
+	// Dtype constraint: admitting t must not widen the prefix's dtype set
+	// unless an explicit cast (in t's kernel or already in the prefix)
+	// accounts for the boundary.
+	if !d.admitsDTypes(t) {
 		return false
 	}
 	// On a single-point launch domain every dependence is trivially
@@ -121,6 +135,54 @@ func (d *dataflow) admits(t *ir.Task) bool {
 	return true
 }
 
+// admitsDTypes implements the dtype constraint: appending t may leave the
+// prefix spanning more than one element type only when the boundary is an
+// explicit cast — either t's own kernel casts (e.g. an AsType task reading
+// f64 and writing f32), or a cast task already admitted connects the
+// streams. Uniform-dtype prefixes (the common case) exit on the first
+// check without allocating.
+func (d *dataflow) admitsDTypes(t *ir.Task) bool {
+	mixed := multiDType(t)
+	if !mixed && len(t.Args) > 0 && len(d.dtypes) > 0 {
+		// All of t's arguments share one dtype; the prefix widens exactly
+		// when that dtype is new to it.
+		mixed = !d.dtypes[t.Args[0].Store.DType()]
+	}
+	if !mixed {
+		return true
+	}
+	// Widening the prefix's dtype set requires both an explicit cast (in
+	// t's own kernel or already admitted) and a data connection: t must
+	// share a store with the prefix. Either alone is not enough — a cast
+	// task reading a store from some earlier, long-flushed window is just
+	// as unrelated to this prefix as a cast-free task, and must not merge
+	// two independent streams by accident of adjacency.
+	return (t.Kernel.HasCast() || d.hasCast) && d.sharesStore(t)
+}
+
+// sharesStore reports whether t touches any store the prefix has touched.
+func (d *dataflow) sharesStore(t *ir.Task) bool {
+	for _, a := range t.Args {
+		if _, ok := d.effects[a.Store.ID()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func multiDType(t *ir.Task) bool {
+	if len(t.Args) == 0 {
+		return false
+	}
+	dt := t.Args[0].Store.DType()
+	for _, a := range t.Args[1:] {
+		if a.Store.DType() != dt {
+			return true
+		}
+	}
+	return false
+}
+
 // selfAliases reports whether the argument's own point tasks alias each
 // other destructively: a write or reduction through a partition that maps
 // multiple points to overlapping data. Only replicated (None) partitions
@@ -165,7 +227,11 @@ func addPart(set []ir.Partition, p ir.Partition) []ir.Partition {
 // record folds t's effects into the dataflow state (t must have been
 // admitted).
 func (d *dataflow) record(t *ir.Task) {
+	if t.Kernel != nil && t.Kernel.HasCast() {
+		d.hasCast = true
+	}
 	for _, a := range t.Args {
+		d.dtypes[a.Store.DType()] = true
 		e := d.eff(a.Store)
 		if a.Priv.Reads() {
 			e.readParts = addPart(e.readParts, a.Part)
@@ -187,8 +253,13 @@ func fusiblePrefix(window []*ir.Task) int {
 	d := newDataflow(window[0])
 	// The first task joins unconditionally at the task level, but a task
 	// whose own arguments self-alias must run alone (it is still legal for
-	// the runtime, which serializes it; it just cannot be fused).
-	if window[0].Kernel == nil || firstSelfAliases(d, window[0]) {
+	// the runtime, which serializes it; it just cannot be fused). The same
+	// holds for a cast-free task spanning several element types (e.g. a
+	// mixed-precision GEMV, whose kernel carries no cast expression):
+	// seeding the prefix's dtype set with both types would let later
+	// unrelated tasks of either type join without any cast in sight.
+	if window[0].Kernel == nil || firstSelfAliases(d, window[0]) ||
+		(multiDType(window[0]) && !window[0].Kernel.HasCast()) {
 		return 1
 	}
 	d.record(window[0])

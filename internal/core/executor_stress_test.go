@@ -86,7 +86,7 @@ func TestConcurrentSessionsReduceSharedStores(t *testing.T) {
 						{Store: tinyAcc, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: ir.RedSum},
 					}})
 				s.Flush()
-				if got := r.Legion().ReadScalar(tinyAcc); got != points {
+				if got, _ := r.Legion().ReadScalar(tinyAcc); got != points {
 					t.Errorf("session %d iter %d: tiny sum = %g, want %d", g, i, got, points)
 				}
 				r.ReleaseStore(tiny)
@@ -98,11 +98,11 @@ func TestConcurrentSessionsReduceSharedStores(t *testing.T) {
 	wg.Wait()
 
 	for g := 0; g < sessions; g++ {
-		if got := r.Legion().ReadScalar(accs[g]); got != float64(iters*n) {
+		if got, _ := r.Legion().ReadScalar(accs[g]); got != float64(iters*n) {
 			t.Fatalf("session %d acc = %g, want %d", g, got, iters*n)
 		}
 	}
-	if got := r.Legion().ReadScalar(sharedAcc); got != float64(sessions*iters*n) {
+	if got, _ := r.Legion().ReadScalar(sharedAcc); got != float64(sessions*iters*n) {
 		t.Fatalf("shared acc = %g, want %d", got, sessions*iters*n)
 	}
 }

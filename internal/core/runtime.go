@@ -146,10 +146,16 @@ func (r *Runtime) Stats() Stats {
 // Procs returns the number of processors tasks are decomposed over.
 func (r *Runtime) Procs() int { return r.cfg.Machine.GPUs }
 
-// NewStore allocates a store with one application reference. Stores are
-// shared across sessions: any session may submit tasks against any store.
+// NewStore allocates a float64 store with one application reference.
+// Stores are shared across sessions: any session may submit tasks against
+// any store.
 func (r *Runtime) NewStore(name string, shape []int) *ir.Store {
 	return r.fact.NewStore(name, shape)
+}
+
+// NewStoreTyped allocates a store with an explicit element type.
+func (r *Runtime) NewStoreTyped(name string, shape []int, dtype ir.DType) *ir.Store {
+	return r.fact.NewStoreTyped(name, shape, dtype)
 }
 
 // ReleaseStore drops the application's reference to a store. If the store

@@ -48,7 +48,18 @@ func (s *Session) Pending() int { return len(s.window) }
 // Submit hands a task to Diffuse. The task enters this session's window;
 // windows are analyzed when full. Submission retains runtime references on
 // all argument stores until the task has executed.
+//
+// Submit is the chokepoint where kernels learn their element types: kernel
+// parameters correspond one-to-one to task arguments, so the argument
+// stores' dtypes are stamped onto the kernel here. Libraries therefore
+// never spell dtypes in their generator functions — typing an array (e.g.
+// cunum's AsType) retypes every kernel downstream of it.
 func (s *Session) Submit(t *ir.Task) {
+	if t.Kernel != nil && t.Kernel.NParams == len(t.Args) {
+		for i, a := range t.Args {
+			t.Kernel.SetDType(i, a.Store.DType())
+		}
+	}
 	r := s.rt
 	r.mu.Lock()
 	r.seq++

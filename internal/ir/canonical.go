@@ -42,8 +42,10 @@ func Canonicalize(window []*Task, facts StoreFacts) string {
 			if !seen {
 				di = len(idx)
 				idx[a.Store.ID()] = di
-				// First appearance: record shape and caller facts once.
-				fmt.Fprintf(&b, "%d:new%v", di, a.Store.Shape())
+				// First appearance: record shape, dtype, and caller facts
+				// once (dtype also appears in the kernel fingerprint above,
+				// but opaque-kernel tasks must separate too).
+				fmt.Fprintf(&b, "%d:new%v%s", di, a.Store.Shape(), a.Store.DType())
 				if facts != nil {
 					b.WriteByte('{')
 					b.WriteString(facts(a.Store))

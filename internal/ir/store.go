@@ -3,6 +3,19 @@ package ir
 import (
 	"fmt"
 	"sync/atomic"
+
+	"diffuse/internal/kir"
+)
+
+// DType re-exports the element-type enumeration stores are typed with.
+type DType = kir.DType
+
+// Element types (aliases of the kir constants, so libraries touching only
+// the data model need not import kir).
+const (
+	F64 = kir.F64
+	F32 = kir.F32
+	I32 = kir.I32
 )
 
 // StoreID uniquely identifies a store within a Factory.
@@ -23,6 +36,7 @@ type Store struct {
 	id    StoreID
 	shape []int
 	name  string
+	dtype DType
 
 	appRefs atomic.Int64 // references held by the application / libraries
 	runRefs atomic.Int64 // references held by the runtime (pending tasks)
@@ -34,17 +48,32 @@ type Factory struct {
 	next atomic.Int64
 }
 
-// NewStore creates a store of the given shape with one application
+// NewStore creates a float64 store of the given shape with one application
 // reference (held by the caller). name is used only for debugging output.
 func (f *Factory) NewStore(name string, shape []int) *Store {
+	return f.NewStoreTyped(name, shape, F64)
+}
+
+// NewStoreTyped creates a store with an explicit element type.
+func (f *Factory) NewStoreTyped(name string, shape []int, dtype DType) *Store {
 	s := &Store{
 		id:    StoreID(f.next.Add(1)),
 		shape: append([]int(nil), shape...),
 		name:  name,
+		dtype: dtype,
 	}
 	s.appRefs.Store(1)
 	return s
 }
+
+// DType returns the store's element type.
+func (s *Store) DType() DType { return s.dtype }
+
+// ElemSize returns the width of one element in bytes.
+func (s *Store) ElemSize() int { return s.dtype.Size() }
+
+// SizeBytes returns the byte size of the store's canonical instance.
+func (s *Store) SizeBytes() int { return s.Size() * s.dtype.Size() }
 
 // ID returns the store's unique identifier.
 func (s *Store) ID() StoreID { return s.id }
@@ -120,5 +149,5 @@ func (s *Store) Dead() bool {
 }
 
 func (s *Store) String() string {
-	return fmt.Sprintf("Store(%d %q %v)", s.id, s.name, s.shape)
+	return fmt.Sprintf("Store(%d %q %v %s)", s.id, s.name, s.shape, s.dtype)
 }

@@ -20,7 +20,7 @@ type Instr struct {
 	Op      Op
 	Dst     uint16
 	A, B, C uint16
-	Slot    int32   // iteration slot for OpLoad/opStoreElem; binding param for OpLoadScalar; reduce index for opReduceAcc
+	Slot    int32   // iteration slot for OpLoad/opStoreElem; binding param for OpLoadScalar; reduce index for opReduceAcc; target DType for OpCast
 	Imm     float64 // immediate for OpConst
 }
 
@@ -163,6 +163,9 @@ func (b *loopBuilder) compile(e *Expr) uint16 {
 		in.Slot = int32(b.slot(e.Param))
 	case OpLoadScalar:
 		in.Slot = int32(e.Param)
+	case OpCast:
+		in.A = b.compile(e.A)
+		in.Slot = int32(e.DT)
 	default:
 		in.A = b.compile(e.A)
 		if e.Op.Arity() >= 2 {

@@ -17,61 +17,68 @@ type CostStats struct {
 	Launches int
 }
 
-// SpMVStats supplies per-point CSR statistics for cost estimation; the
-// fusion analysis never needs these, only the machine model does.
-type SpMVStats func(payloadKey int) (rows, nnz float64)
+// SpMVStats supplies per-point CSR statistics for cost estimation — local
+// rows, stored entries, and the element type of the value array (selected
+// independently of the dense operand since sparse.New32). The fusion
+// analysis never needs these, only the machine model does.
+type SpMVStats func(payloadKey int) (rows, nnz float64, val DType)
 
-// Cost estimates the per-point cost of the compiled kernel. ext overrides,
-// when non-nil, give the runtime per-point extents per loop (defaults to
-// the static Loop.Ext).
+// Cost estimates the per-point cost of the compiled kernel. Bytes are
+// priced by each parameter's element width (Kernel.DTypes): an f32 stream
+// moves half the traffic of the same f64 stream, which is exactly the win
+// reduced precision buys on bandwidth-bound kernels.
 func (c *Compiled) Cost(spmv SpMVStats) CostStats {
 	var cs CostStats
+	k := c.Kernel
+	sz := func(p int) float64 { return float64(k.DTypeOf(p).Size()) }
 	for i, cl := range c.loops {
-		l := c.Kernel.Loops[i]
+		l := k.Loops[i]
 		cs.Launches++
 		switch cl.kind {
 		case LoopElem:
 			elems := float64(extTotal(l.Ext))
 			// Each iterated parameter is streamed once per element; local
 			// parameters that were scalarized never appear as slots. Count
-			// unique slots (loads and stores share slots).
-			cs.Bytes += elems * 8 * float64(len(cl.iter))
+			// unique slots (loads and stores share slots) at each slot's
+			// element width.
+			for _, ip := range cl.iter {
+				cs.Bytes += elems * sz(ip.param)
+			}
 			arith := 0
-			scalarLoads := 0
 			for _, in := range cl.body {
 				switch in.Op {
 				case OpConst, OpLoad, opStoreElem, opReduceAcc:
 				case OpLoadScalar:
-					scalarLoads++
+					cs.Bytes += sz(int(in.Slot))
 				default:
 					arith++
 				}
 			}
-			cs.Bytes += float64(scalarLoads) * 8
 			cs.Flops += elems * float64(arith)
 		case LoopGEMV:
 			rows := float64(l.Ext[0])
 			cols := float64(l.Ext[1])
-			cs.Bytes += rows*cols*8 + cols*8 + rows*8
+			cs.Bytes += rows*cols*sz(cl.matA) + cols*sz(cl.x) + rows*sz(cl.y)
 			cs.Flops += 2 * rows * cols
 		case LoopSpMV:
 			if spmv == nil {
 				panic("kir: SpMV cost requested without stats")
 			}
-			rows, nnz := spmv(cl.payloadKey)
-			// vals 8B + cols 4B per nnz, rowptr 4B + y 8B per row, and the
-			// gathered x accesses (cache-unfriendly, charged at 8B each).
-			cs.Bytes += nnz*(8+4+8) + rows*(4+8)
+			rows, nnz, valDT := spmv(cl.payloadKey)
+			// vals at their own width + cols 4B per nnz, rowptr 4B + y per
+			// row, and the gathered x accesses (cache-unfriendly, charged
+			// at full element width each).
+			cs.Bytes += nnz*(float64(valDT.Size())+4+sz(cl.x)) + rows*(4+sz(cl.y))
 			cs.Flops += 2 * nnz
 		case LoopRandom, LoopIota:
 			elems := float64(extTotal(l.Ext))
-			cs.Bytes += elems * 8
+			cs.Bytes += elems * sz(cl.extRef)
 			cs.Flops += elems * 4
 		case LoopAxisReduce:
 			elems := float64(extTotal(l.Ext))
 			rank := len(l.Ext)
 			outElems := elems / float64(l.Ext[rank-1])
-			cs.Bytes += elems*8 + outElems*8
+			cs.Bytes += elems*sz(cl.x) + outElems*sz(cl.y)
 			cs.Flops += elems
 		}
 	}

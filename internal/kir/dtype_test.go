@@ -1,0 +1,152 @@
+package kir
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBufferRoundTrip(t *testing.T) {
+	for _, dt := range []DType{F64, F32, I32} {
+		b := AllocBuffer(dt, 4)
+		if b.DType() != dt || b.Len() != 4 || b.IsNil() {
+			t.Fatalf("%v: bad alloc %v len=%d", dt, b.DType(), b.Len())
+		}
+		b.Set(1, 2.5)
+		want := dt.Round(2.5)
+		if got := b.Get(1); got != want {
+			t.Fatalf("%v: Get(1) = %g, want %g", dt, got, want)
+		}
+		b.Fill(7)
+		for i := 0; i < 4; i++ {
+			if b.Get(i) != 7 {
+				t.Fatalf("%v: Fill failed at %d: %g", dt, i, b.Get(i))
+			}
+		}
+		s := b.Slice(1, 3)
+		if s.Len() != 2 || s.DType() != dt {
+			t.Fatalf("%v: bad slice", dt)
+		}
+		s.Set(0, 3)
+		if b.Get(1) != 3 {
+			t.Fatalf("%v: slice does not share storage", dt)
+		}
+	}
+}
+
+func TestBufferConversions(t *testing.T) {
+	b := AllocBuffer(F32, 3)
+	b.CopyFromF64([]float64{1.1, 2.2, 3.3})
+	as64 := b.ToF64()
+	for i, v := range []float64{1.1, 2.2, 3.3} {
+		if as64[i] != float64(float32(v)) {
+			t.Fatalf("ToF64[%d] = %g", i, as64[i])
+		}
+	}
+	i := AllocBuffer(I32, 3)
+	i.CopyFromF32([]float32{1.9, -2.9, 100})
+	if got := i.ToF64(); got[0] != 1 || got[1] != -2 || got[2] != 100 {
+		t.Fatalf("I32 truncation wrong: %v", got)
+	}
+}
+
+func TestClampI32(t *testing.T) {
+	cases := map[float64]int32{
+		1.9:          1,
+		-1.9:         -1,
+		math.NaN():   0,
+		math.Inf(1):  math.MaxInt32,
+		math.Inf(-1): math.MinInt32,
+		1e12:         math.MaxInt32,
+		-1e12:        math.MinInt32,
+	}
+	for in, want := range cases {
+		if got := clampI32(in); got != want {
+			t.Fatalf("clampI32(%g) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestCastOp checks the explicit cast expression rounds mid-expression.
+func TestCastOp(t *testing.T) {
+	// out = cast_f32(1/3) stored to an f64 parameter: the value must carry
+	// f32 precision even though both registers and destination are wider.
+	k := NewKernel("c", 1)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "s", Ext: []int{1}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 0, E: Cast(F32, Binary(OpDiv, Const(1), Const(3)))}}})
+	out := []float64{0}
+	Compile(k).Execute(&PointArgs{Bind: []Binding{flat(out, 1)}})
+	if out[0] != float64(float32(1.0/3.0)) {
+		t.Fatalf("cast_f32(1/3) = %v, want %v", out[0], float64(float32(1.0/3.0)))
+	}
+	if !k.HasCast() {
+		t.Fatal("kernel with cast must report HasCast")
+	}
+	if addKernel().HasCast() {
+		t.Fatal("cast-free kernel reports HasCast")
+	}
+}
+
+// TestFingerprintSeparatesDTypes: structurally identical kernels over
+// different element types must not share a fingerprint (memo separation).
+func TestFingerprintSeparatesDTypes(t *testing.T) {
+	k64 := addKernel()
+	k32 := addKernel()
+	for p := 0; p < 3; p++ {
+		k32.SetDType(p, F32)
+	}
+	if k64.Fingerprint() == k32.Fingerprint() {
+		t.Fatal("f64 and f32 kernels share a fingerprint")
+	}
+}
+
+// TestTypedStore checks element-wise stores round to the destination
+// buffer's dtype.
+func TestTypedStore(t *testing.T) {
+	k := NewKernel("store", 1)
+	k.SetDType(0, F32)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "s", Ext: []int{1}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 0, E: Binary(OpDiv, Const(1), Const(3))}}})
+	out := AllocBuffer(F32, 1)
+	Compile(k).Execute(&PointArgs{Bind: []Binding{
+		{Acc: Accessor{Data: out, Strides: []int{1}}, Ext: []int{1}},
+	}})
+	if out.F32()[0] != float32(1.0/3.0) {
+		t.Fatalf("typed store = %v", out.F32()[0])
+	}
+}
+
+// TestScalarizeRoundsForwardedF32Local: a value forwarded past an
+// eliminated f32 temporary must observe the rounding the typed buffer
+// would have applied (fused and unfused streams stay bit-identical).
+func TestScalarizeRoundsForwardedF32Local(t *testing.T) {
+	// t = 1/3 (store to local f32); out = t + 0.
+	k := NewKernel("f", 2)
+	k.SetDType(0, F32)
+	k.SetDType(1, F64)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{1}, ExtRef: 1,
+		Stmts: []Stmt{{Kind: KStore, Param: 0, E: Binary(OpDiv, Const(1), Const(3))}}})
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "v", Ext: []int{1}, ExtRef: 1,
+		Stmts: []Stmt{{Kind: KStore, Param: 1, E: Binary(OpAdd, Load(0), Const(0))}}})
+	k.MarkLocal(0)
+	opt := Optimize(k, nil)
+	out := []float64{0}
+	Compile(opt).Execute(&PointArgs{Bind: []Binding{{}, flat(out, 1)}})
+	if out[0] != float64(float32(1.0/3.0)) {
+		t.Fatalf("forwarded f32 local not rounded: %v, want %v", out[0], float64(float32(1.0/3.0)))
+	}
+}
+
+// TestCostPricesByWidth: the same kernel body over f32 parameters must
+// report half the element-wise traffic of its f64 twin.
+func TestCostPricesByWidth(t *testing.T) {
+	k64 := addKernel()
+	k32 := addKernel()
+	for p := 0; p < 3; p++ {
+		k32.SetDType(p, F32)
+	}
+	b64 := Compile(k64).Cost(nil).Bytes
+	b32 := Compile(k32).Cost(nil).Bytes
+	if b32*2 != b64 {
+		t.Fatalf("f32 bytes %g, f64 bytes %g: want exactly half", b32, b64)
+	}
+}

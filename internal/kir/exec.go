@@ -7,9 +7,11 @@ import (
 
 // Accessor addresses the local view of one kernel parameter inside a
 // backing buffer: element (i0,...,ik) of the view lives at
-// Data[Base + Σ i_d * Strides[d]].
+// Data[Base + Σ i_d * Strides[d]]. Data is dtype-tagged; the evaluator
+// widens loads to float64 registers and rounds stores to the buffer's
+// element type.
 type Accessor struct {
-	Data    []float64
+	Data    Buffer
 	Base    int
 	Strides []int
 }
@@ -33,11 +35,12 @@ type Binding struct {
 // CSRLocal is the local rows of a CSR matrix owned by one point task.
 // Column indices are global (they index the full dense vector parameter).
 // 32-bit indices mirror the paper's §7 methodology (both Legate Sparse and
-// PETSc store coordinates as 32-bit integers).
+// PETSc store coordinates as 32-bit integers); values are a typed buffer so
+// matrices store their entries in either precision.
 type CSRLocal struct {
 	RowPtr []int32
 	Col    []int32
-	Val    []float64
+	Val    Buffer
 }
 
 // NNZ returns the number of stored entries.
@@ -59,10 +62,33 @@ type PointArgs struct {
 }
 
 // slotState is the streaming accessor state of one iterated parameter
-// inside an element-wise loop.
+// inside an element-wise loop. The parameter's raw slice is pulled out
+// once per loop; per-element access then costs one predictable nil check
+// (f64 fast path) or a dtype switch, never an interface call.
 type slotState struct {
-	data    []float64
+	f64     []float64
+	f32     []float32
+	i32     []int32
 	strides []int
+}
+
+func (s *slotState) bind(b Buffer) {
+	s.f64, s.f32, s.i32 = b.f64, b.f32, b.i32
+}
+
+func (s *slotState) load(i int) float64 {
+	if s.f32 != nil {
+		return float64(s.f32[i])
+	}
+	return float64(s.i32[i])
+}
+
+func (s *slotState) store(i int, v float64) {
+	if s.f32 != nil {
+		s.f32[i] = float32(v)
+		return
+	}
+	s.i32[i] = clampI32(v)
 }
 
 // Scratch holds reusable evaluator state. A Scratch belongs to exactly one
@@ -75,12 +101,12 @@ type Scratch struct {
 	idx    []int
 	racc   []float64
 	states []slotState
-	locals map[int][]float64
+	locals map[int]Buffer
 }
 
 // NewScratch allocates evaluator scratch state.
 func NewScratch() *Scratch {
-	return &Scratch{locals: map[int][]float64{}}
+	return &Scratch{locals: map[int]Buffer{}}
 }
 
 func (s *Scratch) grow(nregs, nslots, ndims, nred int) {
@@ -114,9 +140,9 @@ func (c *Compiled) Execute(pa *PointArgs) {
 		pa.Scratch = NewScratch()
 	}
 	// Allocate task-local buffers for locals that survived scalarization
-	// (the memref.alloc of Fig. 8c).
+	// (the memref.alloc of Fig. 8c), typed by the parameter's dtype.
 	for _, p := range c.bufLocals {
-		if pa.Bind[p].Acc.Data != nil {
+		if !pa.Bind[p].Acc.Data.IsNil() {
 			continue
 		}
 		ext := pa.Bind[p].Ext
@@ -124,9 +150,10 @@ func (c *Compiled) Execute(pa *PointArgs) {
 		for _, e := range ext {
 			n *= e
 		}
+		dt := c.Kernel.DTypeOf(p)
 		buf, ok := pa.Scratch.locals[p]
-		if !ok || len(buf) < n {
-			buf = make([]float64, n)
+		if !ok || buf.Len() < n || buf.DType() != dt {
+			buf = AllocBuffer(dt, n)
 			pa.Scratch.locals[p] = buf
 		}
 		strides := make([]int, len(ext))
@@ -187,7 +214,8 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 	states := sc.states[:len(l.iter)]
 	for s, ip := range l.iter {
 		b := &pa.Bind[ip.param]
-		states[s] = slotState{data: b.Acc.Data, strides: b.Acc.Strides}
+		states[s].bind(b.Acc.Data)
+		states[s].strides = b.Acc.Strides
 		cur[s] = b.Acc.Base
 	}
 	racc := sc.racc[:len(l.reduces)]
@@ -202,10 +230,14 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 			case OpConst:
 				regs[in.Dst] = in.Imm
 			case OpLoad:
-				regs[in.Dst] = states[in.Slot].data[cur[in.Slot]]
+				if st := &states[in.Slot]; st.f64 != nil {
+					regs[in.Dst] = st.f64[cur[in.Slot]]
+				} else {
+					regs[in.Dst] = st.load(cur[in.Slot])
+				}
 			case OpLoadScalar:
 				b := &pa.Bind[in.Slot]
-				regs[in.Dst] = b.Acc.Data[b.Acc.Base]
+				regs[in.Dst] = b.Acc.Data.Get(b.Acc.Base)
 			case OpAdd:
 				regs[in.Dst] = regs[in.A] + regs[in.B]
 			case OpSub:
@@ -254,8 +286,14 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 				} else {
 					regs[in.Dst] = regs[in.C]
 				}
+			case OpCast:
+				regs[in.Dst] = DType(in.Slot).Round(regs[in.A])
 			case opStoreElem:
-				states[in.Slot].data[cur[in.Slot]] = regs[in.A]
+				if st := &states[in.Slot]; st.f64 != nil {
+					st.f64[cur[in.Slot]] = regs[in.A]
+				} else {
+					st.store(cur[in.Slot], regs[in.A])
+				}
 			case opReduceAcc:
 				racc[in.Slot] = l.reduces[in.Slot].red.Combine(racc[in.Slot], regs[in.A])
 			default:
@@ -277,11 +315,13 @@ func (c *Compiled) execElem(l *compiledLoop, pa *PointArgs) {
 			}
 		}
 	}
-	// Fold partials into the reduction cells.
+	// Fold partials into the reduction cells, rounding at the cell's dtype
+	// so reduced-precision reductions stay bit-identical however points are
+	// scheduled (every point folds through the same typed cell sequence).
 	for r := range l.reduces {
 		rs := &l.reduces[r]
-		b := &pa.Bind[rs.param]
-		b.Acc.Data[b.Acc.Base] = rs.red.Combine(b.Acc.Data[b.Acc.Base], racc[r])
+		acc := pa.Bind[rs.param].Acc
+		acc.Data.Set(acc.Base, rs.red.Combine(acc.Data.Get(acc.Base), racc[r]))
 	}
 	// Drop buffer references so a parked scratch never pins freed regions.
 	for s := range states {
@@ -305,12 +345,34 @@ func (c *Compiled) execSpMV(l *compiledLoop, pa *PointArgs) {
 		xstride = x.Strides[0]
 	}
 	rows := csr.Rows()
+	// Uniform-dtype fast paths: stream the raw slices. Mixed dtypes fall
+	// back to the generic widening accessors.
+	if vals, xd, yd := csr.Val.F64(), x.Data.F64(), y.Data.F64(); vals != nil && xd != nil && yd != nil {
+		for i := 0; i < rows; i++ {
+			sum := 0.0
+			for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
+				sum += vals[k] * xd[x.Base+int(csr.Col[k])*xstride]
+			}
+			yd[y.Base+i*ystride] = sum
+		}
+		return
+	}
+	if vals, xd, yd := csr.Val.F32(), x.Data.F32(), y.Data.F32(); vals != nil && xd != nil && yd != nil {
+		for i := 0; i < rows; i++ {
+			sum := 0.0
+			for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
+				sum += float64(vals[k]) * float64(xd[x.Base+int(csr.Col[k])*xstride])
+			}
+			yd[y.Base+i*ystride] = float32(sum)
+		}
+		return
+	}
 	for i := 0; i < rows; i++ {
 		sum := 0.0
 		for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
-			sum += csr.Val[k] * x.Data[x.Base+int(csr.Col[k])*xstride]
+			sum += csr.Val.Get(int(k)) * x.Data.Get(x.Base+int(csr.Col[k])*xstride)
 		}
-		y.Data[y.Base+i*ystride] = sum
+		y.Data.Set(y.Base+i*ystride, sum)
 	}
 }
 
@@ -327,13 +389,85 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 	if len(x.Strides) > 0 {
 		xstride = x.Strides[0]
 	}
+	astr0, astr1 := a.Acc.Strides[0], a.Acc.Strides[1]
+	// Uniform-dtype fast paths: the matrix stream dominates the traffic,
+	// and the row dot products run four independent accumulators so the
+	// loop is bound by the memory stream, not the FMA latency chain — this
+	// is what lets an f32 matrix (half the bytes, and a working set that
+	// fits one cache level earlier) actually convert its traffic advantage
+	// into wall-clock. The f32 path accumulates in float32, the f32 BLAS
+	// convention; unit-stride rows take the unrolled path.
+	if ad, xd, yd := a.Acc.Data.F64(), x.Data.F64(), y.Data.F64(); ad != nil && xd != nil && yd != nil {
+		if astr1 == 1 && xstride == 1 {
+			xv := xd[x.Base : x.Base+cols]
+			for i := 0; i < rows; i++ {
+				base := a.Acc.Base + i*astr0
+				row := ad[base : base+cols]
+				var s0, s1, s2, s3 float64
+				j := 0
+				for ; j+4 <= cols; j += 4 {
+					s0 += row[j] * xv[j]
+					s1 += row[j+1] * xv[j+1]
+					s2 += row[j+2] * xv[j+2]
+					s3 += row[j+3] * xv[j+3]
+				}
+				sum := s0 + s1 + s2 + s3
+				for ; j < cols; j++ {
+					sum += row[j] * xv[j]
+				}
+				yd[y.Base+i*ystride] = sum
+			}
+			return
+		}
+		for i := 0; i < rows; i++ {
+			base := a.Acc.Base + i*astr0
+			sum := 0.0
+			for j := 0; j < cols; j++ {
+				sum += ad[base+j*astr1] * xd[x.Base+j*xstride]
+			}
+			yd[y.Base+i*ystride] = sum
+		}
+		return
+	}
+	if ad, xd, yd := a.Acc.Data.F32(), x.Data.F32(), y.Data.F32(); ad != nil && xd != nil && yd != nil {
+		if astr1 == 1 && xstride == 1 {
+			xv := xd[x.Base : x.Base+cols]
+			for i := 0; i < rows; i++ {
+				base := a.Acc.Base + i*astr0
+				row := ad[base : base+cols]
+				var s0, s1, s2, s3 float32
+				j := 0
+				for ; j+4 <= cols; j += 4 {
+					s0 += row[j] * xv[j]
+					s1 += row[j+1] * xv[j+1]
+					s2 += row[j+2] * xv[j+2]
+					s3 += row[j+3] * xv[j+3]
+				}
+				sum := s0 + s1 + s2 + s3
+				for ; j < cols; j++ {
+					sum += row[j] * xv[j]
+				}
+				yd[y.Base+i*ystride] = sum
+			}
+			return
+		}
+		for i := 0; i < rows; i++ {
+			base := a.Acc.Base + i*astr0
+			sum := float32(0)
+			for j := 0; j < cols; j++ {
+				sum += ad[base+j*astr1] * xd[x.Base+j*xstride]
+			}
+			yd[y.Base+i*ystride] = sum
+		}
+		return
+	}
 	for i := 0; i < rows; i++ {
-		base := a.Acc.Base + i*a.Acc.Strides[0]
+		base := a.Acc.Base + i*astr0
 		sum := 0.0
 		for j := 0; j < cols; j++ {
-			sum += a.Acc.Data[base+j*a.Acc.Strides[1]] * x.Data[x.Base+j*xstride]
+			sum += a.Acc.Data.Get(base+j*astr1) * x.Data.Get(x.Base+j*xstride)
 		}
-		y.Data[y.Base+i*ystride] = sum
+		y.Data.Set(y.Base+i*ystride, sum)
 	}
 }
 
@@ -361,7 +495,7 @@ func execGenerator(sc *Scratch, b *Binding, fn func(globalOffset int) float64) {
 	cur := b.Acc.Base
 	gcur := gacc.Base
 	for e := 0; e < total; e++ {
-		b.Acc.Data[cur] = fn(gcur)
+		b.Acc.Data.Set(cur, fn(gcur))
 		for d := rank - 1; d >= 0; d-- {
 			idx[d]++
 			if idx[d] < ext[d] {
@@ -409,14 +543,22 @@ func (c *Compiled) execAxisReduce(l *compiledLoop, pa *PointArgs) {
 	curIn := in.Acc.Base
 	curOut := out.Acc.Base
 	innerStride := in.Acc.Strides[rank-1]
+	inF64 := in.Acc.Data.F64()
 	for e := 0; e < outTotal; e++ {
 		acc := l.red.Identity()
 		off := curIn
-		for j := 0; j < last; j++ {
-			acc = l.red.Combine(acc, in.Acc.Data[off])
-			off += innerStride
+		if inF64 != nil {
+			for j := 0; j < last; j++ {
+				acc = l.red.Combine(acc, inF64[off])
+				off += innerStride
+			}
+		} else {
+			for j := 0; j < last; j++ {
+				acc = l.red.Combine(acc, in.Acc.Data.Get(off))
+				off += innerStride
+			}
 		}
-		out.Acc.Data[curOut] = acc
+		out.Acc.Data.Set(curOut, acc)
 		for d := rank - 2; d >= 0; d-- {
 			idx[d]++
 			if idx[d] < in.Ext[d] {

@@ -56,6 +56,12 @@ const (
 	OpGE  // a >= b ? 1 : 0
 	OpLE  // a <= b ? 1 : 0
 	OpSel // a != 0 ? b : c
+	// OpCast rounds its operand to the precision of Expr.DT (f32 rounds to
+	// nearest binary32, i32 truncates with saturation) and widens back to
+	// the evaluator's float64 registers. It is the explicit dtype boundary:
+	// the fusion constraint admits mixed-dtype prefixes only across a
+	// kernel containing a cast.
+	OpCast
 )
 
 var opNames = map[Op]string{
@@ -64,7 +70,7 @@ var opNames = map[Op]string{
 	OpNeg: "neg", OpAbs: "abs", OpSqrt: "sqrt", OpExp: "exp",
 	OpLog: "log", OpErf: "erf", OpPow: "pow", OpMax: "max",
 	OpMin: "min", OpSin: "sin", OpCos: "cos", OpGE: "ge", OpLE: "le",
-	OpSel: "sel",
+	OpSel: "sel", OpCast: "cast",
 }
 
 func (o Op) String() string { return opNames[o] }
@@ -74,7 +80,7 @@ func (o Op) Arity() int {
 	switch o {
 	case OpConst, OpLoad, OpLoadScalar:
 		return 0
-	case OpNeg, OpAbs, OpSqrt, OpExp, OpLog, OpErf, OpSin, OpCos:
+	case OpNeg, OpAbs, OpSqrt, OpExp, OpLog, OpErf, OpSin, OpCos, OpCast:
 		return 1
 	case OpSel:
 		return 3
@@ -91,6 +97,7 @@ type Expr struct {
 	A, B, C *Expr
 	Param   int     // parameter index for OpLoad / OpLoadScalar
 	Imm     float64 // immediate for OpConst
+	DT      DType   // target dtype for OpCast
 }
 
 // Const returns a constant expression.
@@ -110,6 +117,9 @@ func Binary(op Op, a, b *Expr) *Expr { return &Expr{Op: op, A: a, B: b} }
 
 // Select builds a ternary select: cond != 0 ? a : b.
 func Select(cond, a, b *Expr) *Expr { return &Expr{Op: OpSel, A: cond, B: a, C: b} }
+
+// Cast builds an explicit precision cast of a to dtype d.
+func Cast(d DType, a *Expr) *Expr { return &Expr{Op: OpCast, A: a, DT: d} }
 
 // RedOp is a reduction combiner.
 type RedOp uint8
@@ -249,11 +259,79 @@ type Kernel struct {
 	// distributed store to a task-local allocation by temporary-store
 	// elimination. Locals may be scalarized away entirely by the compiler.
 	Local []bool
+	// DTypes[i] is the element type of parameter i (F64 by default). The
+	// submission layer stamps these from the argument stores; they size
+	// task-local buffers, select typed accessor paths in the evaluator,
+	// price bytes in the cost model, and participate in the fingerprint so
+	// structurally identical f32 and f64 kernels never share a memoized
+	// plan.
+	DTypes []DType
+
+	// hasCastMemo caches HasCast: 0 uncomputed, 1 true, 2 false. Not
+	// copied by Clone/Remap (they rebuild statements).
+	hasCastMemo int8
 }
 
-// NewKernel allocates a kernel with the given parameter count.
+// NewKernel allocates a kernel with the given parameter count; every
+// parameter defaults to F64.
 func NewKernel(name string, nparams int) *Kernel {
-	return &Kernel{Name: name, NParams: nparams, Local: make([]bool, nparams)}
+	return &Kernel{Name: name, NParams: nparams, Local: make([]bool, nparams), DTypes: make([]DType, nparams)}
+}
+
+// DTypeOf returns the element type of parameter p (F64 when dtypes were
+// never stamped — kernels predating the submission layer, and tests that
+// build kernels by hand).
+func (k *Kernel) DTypeOf(p int) DType {
+	if p < len(k.DTypes) {
+		return k.DTypes[p]
+	}
+	return F64
+}
+
+// SetDType records the element type of parameter p.
+func (k *Kernel) SetDType(p int, d DType) {
+	if len(k.DTypes) < k.NParams {
+		dts := make([]DType, k.NParams)
+		copy(dts, k.DTypes)
+		k.DTypes = dts
+	}
+	k.DTypes[p] = d
+}
+
+// HasCast reports whether any statement of the kernel contains an explicit
+// OpCast — the marker the fusion constraint accepts as a legal dtype
+// boundary inside a fused prefix. The statement tree is immutable after
+// construction and the admission path asks repeatedly, so the answer is
+// computed once and cached (callers serialize under the runtime's
+// analysis lock).
+func (k *Kernel) HasCast() bool {
+	if k.hasCastMemo == 0 {
+		k.hasCastMemo = 2
+		if k.computeHasCast() {
+			k.hasCastMemo = 1
+		}
+	}
+	return k.hasCastMemo == 1
+}
+
+func (k *Kernel) computeHasCast() bool {
+	seen := map[*Expr]bool{}
+	var walk func(e *Expr) bool
+	walk = func(e *Expr) bool {
+		if e == nil || seen[e] {
+			return false
+		}
+		seen[e] = true
+		return e.Op == OpCast || walk(e.A) || walk(e.B) || walk(e.C)
+	}
+	for _, l := range k.Loops {
+		for _, s := range l.Stmts {
+			if walk(s.E) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // AddLoop appends a loop to the kernel.
@@ -266,6 +344,7 @@ func (k *Kernel) AddLoop(l *Loop) *Kernel {
 func (k *Kernel) Clone() *Kernel {
 	c := &Kernel{Name: k.Name, NParams: k.NParams}
 	c.Local = append([]bool(nil), k.Local...)
+	c.DTypes = append([]DType(nil), k.DTypes...)
 	for _, l := range k.Loops {
 		c.Loops = append(c.Loops, l.Clone())
 	}
@@ -274,8 +353,12 @@ func (k *Kernel) Clone() *Kernel {
 
 // Remap returns a copy of the kernel with every parameter index i replaced
 // by mapping[i]. nparams is the parameter count of the resulting kernel.
+// Parameter dtypes follow their parameters.
 func (k *Kernel) Remap(mapping []int, nparams int) *Kernel {
-	c := &Kernel{Name: k.Name, NParams: nparams, Local: make([]bool, nparams)}
+	c := &Kernel{Name: k.Name, NParams: nparams, Local: make([]bool, nparams), DTypes: make([]DType, nparams)}
+	for p := 0; p < k.NParams && p < len(mapping); p++ {
+		c.DTypes[mapping[p]] = k.DTypeOf(p)
+	}
 	for _, l := range k.Loops {
 		nl := l.Clone()
 		nl.ExtRef = mapping[l.ExtRef]
@@ -321,6 +404,12 @@ func Concat(name string, nparams int, kernels []*Kernel, mappings [][]int) *Kern
 	for i, k := range kernels {
 		rk := k.Remap(mappings[i], nparams)
 		out.Loops = append(out.Loops, rk.Loops...)
+		// Remap already placed each parameter's dtype at its fused index;
+		// merge only the mapped entries (fused parameters always merge
+		// arguments of one store, so overlapping entries agree).
+		for _, np := range mappings[i] {
+			out.DTypes[np] = rk.DTypes[np]
+		}
 	}
 	return out
 }
@@ -348,6 +437,14 @@ func (k *Kernel) Fingerprint() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|", k.NParams)
+	// Parameter dtypes are part of kernel identity: an f32 stream and an
+	// f64 stream with identical bodies must not share a memoized plan (the
+	// compiled kernel's locals, rounding, and cost all differ).
+	for p := 0; p < k.NParams; p++ {
+		b.WriteString(k.DTypeOf(p).String())
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
 	for _, l := range k.Loops {
 		fmt.Fprintf(&b, "k%d;d%s;e%v;r%d;y%d;x%d;m%d;red%d;s%d;p%d{",
 			l.Kind, l.Dom, l.Ext, l.ExtRef, l.Y, l.X, l.MatA, l.Red, l.Seed, l.PayloadKey)
@@ -373,6 +470,10 @@ func exprFingerprint(b *strings.Builder, e *Expr) {
 		fmt.Fprintf(b, "l%d", e.Param)
 	case OpLoadScalar:
 		fmt.Fprintf(b, "s%d", e.Param)
+	case OpCast:
+		fmt.Fprintf(b, "cast%s(", e.DT)
+		exprFingerprint(b, e.A)
+		b.WriteByte(')')
 	default:
 		fmt.Fprintf(b, "%d(", e.Op)
 		exprFingerprint(b, e.A)

@@ -8,7 +8,7 @@ import (
 
 // binding over a flat rank-1 buffer.
 func flat(data []float64, n int) Binding {
-	return Binding{Acc: Accessor{Data: data, Strides: []int{1}}, Ext: []int{n}}
+	return Binding{Acc: Accessor{Data: BufF64(data), Strides: []int{1}}, Ext: []int{n}}
 }
 
 // addKernel returns the element-wise c = a + b kernel of Fig. 8a.
@@ -152,7 +152,7 @@ func TestReduction(t *testing.T) {
 	b := seq(6, 2)
 	cell := []float64{0}
 	comp.Execute(&PointArgs{Bind: []Binding{flat(a, 6), flat(b, 6),
-		{Acc: Accessor{Data: cell, Strides: []int{0}}, Ext: []int{1}}}})
+		{Acc: Accessor{Data: BufF64(cell), Strides: []int{0}}, Ext: []int{1}}}})
 	want := 0.0
 	for i := range a {
 		want += a[i] * b[i]
@@ -168,7 +168,7 @@ func TestSpMV(t *testing.T) {
 	csr := &CSRLocal{
 		RowPtr: []int32{0, 2, 3, 5},
 		Col:    []int32{0, 2, 1, 0, 3},
-		Val:    []float64{1, 2, 3, 4, 5},
+		Val:    BufF64([]float64{1, 2, 3, 4, 5}),
 	}
 	k := NewKernel("spmv", 2)
 	k.AddLoop(&Loop{Kind: LoopSpMV, X: 0, Y: 1, ExtRef: 1, Ext: []int{3}, PayloadKey: 7})
@@ -196,7 +196,7 @@ func TestGEMV(t *testing.T) {
 	x := []float64{1, 1, 2}
 	y := make([]float64, 2)
 	comp.Execute(&PointArgs{Bind: []Binding{
-		{Acc: Accessor{Data: A, Strides: []int{3, 1}}, Ext: []int{2, 3}},
+		{Acc: Accessor{Data: BufF64(A), Strides: []int{3, 1}}, Ext: []int{2, 3}},
 		flat(x, 3),
 		flat(y, 2),
 	}})
@@ -218,8 +218,8 @@ func TestStridedAccessor(t *testing.T) {
 	comp := Compile(k)
 	out := make([]float64, 4)
 	comp.Execute(&PointArgs{Bind: []Binding{
-		{Acc: Accessor{Data: buf, Base: 5, Strides: []int{4, 1}}, Ext: []int{2, 2}},
-		{Acc: Accessor{Data: out, Strides: []int{2, 1}}, Ext: []int{2, 2}},
+		{Acc: Accessor{Data: BufF64(buf), Base: 5, Strides: []int{4, 1}}, Ext: []int{2, 2}},
+		{Acc: Accessor{Data: BufF64(out), Strides: []int{2, 1}}, Ext: []int{2, 2}},
 	}})
 	want := []float64{5, 6, 9, 10}
 	for i := range want {
@@ -281,7 +281,7 @@ func TestRandomDeterminism(t *testing.T) {
 		k.AddLoop(&Loop{Kind: LoopRandom, Dom: "v", Ext: []int{n}, ExtRef: 0, Seed: 42})
 		out := make([]float64, n)
 		Compile(k).Execute(&PointArgs{Bind: []Binding{
-			{Acc: Accessor{Data: out, Base: 0, Strides: []int{1}}, Ext: []int{n}},
+			{Acc: Accessor{Data: BufF64(out), Base: 0, Strides: []int{1}}, Ext: []int{n}},
 		}})
 		return out
 	}

@@ -18,7 +18,7 @@ type AliasFn func(p, q int) bool
 // offset reads of the same elements. alias captures that relation.
 // Non-element-wise loops (SpMV, GEMV, Random) act as barriers.
 func FuseLoops(k *Kernel, alias AliasFn) *Kernel {
-	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...)}
+	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...), DTypes: append([]DType(nil), k.DTypes...)}
 	var cur *Loop
 	flush := func() {
 		if cur != nil {
@@ -88,7 +88,7 @@ func loopWritesReads(l *Loop) (writes, reads map[int]bool) {
 // locals that still need a task-local buffer is returned in
 // Kernel.needsBuffer (consumed by the compiler).
 func Scalarize(k *Kernel) *Kernel {
-	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...)}
+	out := &Kernel{Name: k.Name, NParams: k.NParams, Local: append([]bool(nil), k.Local...), DTypes: append([]DType(nil), k.DTypes...)}
 
 	// For dead-store elimination we need, per loop index, whether a local
 	// parameter is loaded by any later loop (or by a later statement that
@@ -122,7 +122,15 @@ func Scalarize(k *Kernel) *Kernel {
 			e := forward(s.E, avail, map[*Expr]*Expr{})
 			switch {
 			case s.Kind == KStore && out.Local[s.Param]:
-				avail[s.Param] = e
+				// Forwarded consumers must observe the value the typed
+				// buffer would have held: storing to an f32/i32 local
+				// rounds, so forwarding has to round too or temporary
+				// elimination would change results at reduced precision.
+				if dt := out.DTypeOf(s.Param); dt != F64 {
+					avail[s.Param] = Cast(dt, e)
+				} else {
+					avail[s.Param] = e
+				}
 				switch {
 				case loadedLater[li+1][s.Param]:
 					// A later loop still loads the parameter: the store

@@ -70,7 +70,7 @@ func TestOptimizePreservesSemantics(t *testing.T) {
 					// Deterministic init so both runs start identically.
 					bufs[p][i] = math.Round(float64((p*31+i*7)%13)) - 6
 				}
-				bind[p] = Binding{Acc: Accessor{Data: bufs[p], Strides: []int{1}}, Ext: []int{n}}
+				bind[p] = Binding{Acc: Accessor{Data: BufF64(bufs[p]), Strides: []int{1}}, Ext: []int{n}}
 			}
 			Compile(kk).Execute(&PointArgs{Bind: bind})
 			return bufs

@@ -33,7 +33,7 @@ func (rt *Runtime) executePerPoint(t *ir.Task) {
 
 	// Pre-resolve regions (serialized; allocation may occur) and reduction
 	// partials.
-	data := make([][]float64, len(t.Args))
+	data := make([]kir.Buffer, len(t.Args))
 	var redArgs []int
 	for i, a := range t.Args {
 		if t.Kernel.Local[i] {
@@ -46,14 +46,13 @@ func (rt *Runtime) executePerPoint(t *ir.Task) {
 		}
 	}
 	// Per-point partial cells for reductions (combined after the barrier,
-	// mirroring Legion's reduction instances).
-	partials := map[int][]float64{}
+	// mirroring Legion's reduction instances), typed at the destination's
+	// dtype so reduced-precision reductions round exactly where a typed
+	// region cell would.
+	partials := map[int]kir.Buffer{}
 	for _, i := range redArgs {
-		p := make([]float64, n)
-		id := redOpOf(t.Args[i].Red).Identity()
-		for j := range p {
-			p[j] = id
-		}
+		p := kir.AllocBuffer(t.Args[i].Store.DType(), n)
+		p.Fill(redOpOf(t.Args[i].Red).Identity())
 		partials[i] = p
 	}
 
@@ -73,14 +72,22 @@ func (rt *Runtime) executePerPoint(t *ir.Task) {
 
 	// Fold reduction partials into the destination cells.
 	for _, i := range redArgs {
-		op := redOpOf(t.Args[i].Red)
-		cell := data[i]
-		acc := cell[0]
-		for _, v := range partials[i] {
-			acc = op.Combine(acc, v)
-		}
-		cell[0] = acc
+		foldPartialCell(redOpOf(t.Args[i].Red), data[i], partials[i])
 	}
+}
+
+// foldPartialCell combines per-point partial cells into the destination
+// cell in point order — the single fold sequence both executors share, so
+// results are bit-identical per dtype under any scheduling. The combine
+// runs in float64 and each step is observed through the typed partial
+// cells, with one final rounding at the destination's dtype.
+func foldPartialCell(op kir.RedOp, cell, partials kir.Buffer) {
+	acc := cell.Get(0)
+	n := partials.Len()
+	for j := 0; j < n; j++ {
+		acc = op.Combine(acc, partials.Get(j))
+	}
+	cell.Set(0, acc)
 }
 
 func redOpOf(op ir.ReduceOp) kir.RedOp {
@@ -95,7 +102,7 @@ func redOpOf(op ir.ReduceOp) kir.RedOp {
 }
 
 // runPoint builds the kir bindings for one point task and executes it.
-func (rt *Runtime) runPoint(t *ir.Task, comp *kir.Compiled, data [][]float64, partials map[int][]float64, payload *Payload, pi int, color ir.Point) {
+func (rt *Runtime) runPoint(t *ir.Task, comp *kir.Compiled, data []kir.Buffer, partials map[int]kir.Buffer, payload *Payload, pi int, color ir.Point) {
 	pa := &kir.PointArgs{
 		Bind:    make([]kir.Binding, len(t.Args)),
 		Scratch: rt.scratch.Get().(*kir.Scratch),
@@ -116,12 +123,12 @@ func (rt *Runtime) runPoint(t *ir.Task, comp *kir.Compiled, data [][]float64, pa
 
 // bindArg computes the accessor and local extents of one argument at one
 // color.
-func (rt *Runtime) bindArg(a ir.Arg, data []float64, partial []float64, pi int, color ir.Point, local bool) kir.Binding {
+func (rt *Runtime) bindArg(a ir.Arg, data kir.Buffer, partial kir.Buffer, pi int, color ir.Point, local bool) kir.Binding {
 	shape := a.Store.Shape()
 	strides := a.Store.Strides()
 	ext := a.Part.LocalExtents(color, shape)
 
-	if a.Priv.Reduces() && partial != nil {
+	if a.Priv.Reduces() && !partial.IsNil() {
 		// Reductions accumulate into the point's private cell.
 		return kir.Binding{
 			Acc: kir.Accessor{Data: partial, Base: pi, Strides: []int{0}},
@@ -163,12 +170,13 @@ func (rt *Runtime) executeSim(t *ir.Task) {
 	payload, _ := t.Payload.(*Payload)
 	var stats kir.SpMVStats
 	if payload != nil {
-		stats = func(key int) (float64, float64) {
+		stats = func(key int) (float64, float64, kir.DType) {
 			prov, ok := payload.CSR[key]
 			if !ok {
-				return 0, 0
+				return 0, 0, kir.F64
 			}
-			return prov.Stats()
+			rows, nnz := prov.Stats()
+			return rows, nnz, prov.ValDType()
 		}
 	}
 	cost := comp.Cost(stats)

@@ -236,9 +236,9 @@ type taskPlan struct {
 	launch   ir.Rect
 	colors   []ir.Point
 	args     []argPlan
-	redArgs  []int       // arg indices with Reduce privilege
-	partials [][]float64 // parallel to redArgs: per-point partial cells
-	perPoint float64     // estimated seconds per point task (host model)
+	redArgs  []int        // arg indices with Reduce privilege
+	partials []kir.Buffer // parallel to redArgs: per-point partial cells (typed at the destination dtype)
+	perPoint float64      // estimated seconds per point task (host model)
 	// epoch is the runtime's free-epoch the plan's regions were resolved
 	// at; FreeStore bumps the epoch (O(1) — it must not scan the cache),
 	// and a plan whose epoch lags re-resolves every region before use.
@@ -256,8 +256,8 @@ type argPlan struct {
 	red   ir.ReduceOp
 
 	local  bool
-	data   []float64 // nil for temporary-eliminated (local) args
-	redIdx int       // index into taskPlan.redArgs when priv is Reduce
+	data   kir.Buffer // nil buffer for temporary-eliminated (local) args
+	redIdx int        // index into taskPlan.redArgs when priv is Reduce
 
 	// None partitions bind identically at every point.
 	isNone bool
@@ -398,21 +398,22 @@ func (rt *Runtime) buildPlan(t *ir.Task, comp *kir.Compiled) *taskPlan {
 			panic(fmt.Sprintf("legion: unknown partition kind %T", a.Part))
 		}
 	}
-	p.partials = make([][]float64, len(p.redArgs))
+	p.partials = make([]kir.Buffer, len(p.redArgs))
 
 	// Grain estimate: per-point cost on the host model. SpMV loops draw
 	// their row/nnz statistics from the payload when present.
 	var stats kir.SpMVStats
 	if payload, ok := t.Payload.(*Payload); ok && payload != nil {
-		stats = func(key int) (float64, float64) {
+		stats = func(key int) (float64, float64, kir.DType) {
 			prov, ok := payload.CSR[key]
 			if !ok {
-				return 0, 0
+				return 0, 0, kir.F64
 			}
-			return prov.Stats()
+			rows, nnz := prov.Stats()
+			return rows, nnz, prov.ValDType()
 		}
 	} else {
-		stats = func(int) (float64, float64) { return 0, 0 }
+		stats = func(int) (float64, float64, kir.DType) { return 0, 0, kir.F64 }
 	}
 	cost := comp.Cost(stats)
 	p.perPoint = rt.exec.host.PointCost(cost.Bytes, cost.Flops, cost.Launches)
@@ -420,34 +421,26 @@ func (rt *Runtime) buildPlan(t *ir.Task, comp *kir.Compiled) *taskPlan {
 }
 
 // resetPartials sizes every reduction's per-point cell buffer to the
-// launch width and refills the identities.
+// launch width (typed at the destination store's dtype) and refills the
+// identities. The launch width is fixed for the life of a plan, so the
+// allocation happens once.
 func (p *taskPlan) resetPartials(t *ir.Task, n int) {
 	for r, i := range p.redArgs {
-		buf := p.partials[r]
-		if cap(buf) < n {
-			buf = make([]float64, n)
+		dt := t.Args[i].Store.DType()
+		if p.partials[r].Len() != n || p.partials[r].DType() != dt {
+			p.partials[r] = kir.AllocBuffer(dt, n)
 		}
-		buf = buf[:n]
-		id := redOpOf(t.Args[i].Red).Identity()
-		for j := range buf {
-			buf[j] = id
-		}
-		p.partials[r] = buf
+		p.partials[r].Fill(redOpOf(t.Args[i].Red).Identity())
 	}
 }
 
 // foldPartials combines every reduction's per-point cells into its
-// destination cell, in point order — the same order the per-point
-// baseline uses, so results are scheduling-independent.
+// destination cell, in point order — the same order (and the same typed
+// fold sequence) the per-point baseline uses, so results are
+// scheduling-independent per dtype.
 func (p *taskPlan) foldPartials(t *ir.Task) {
 	for r, i := range p.redArgs {
-		op := redOpOf(t.Args[i].Red)
-		cell := p.args[i].data
-		acc := cell[0]
-		for _, v := range p.partials[r] {
-			acc = op.Combine(acc, v)
-		}
-		cell[0] = acc
+		foldPartialCell(redOpOf(t.Args[i].Red), p.args[i].data, p.partials[r])
 	}
 }
 

@@ -70,7 +70,9 @@ func runStream(t *testing.T, policy ExecPolicy, points, ext, iters int,
 				{Store: y, Part: tp, Priv: ir.Read},
 				{Store: mx, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: ir.RedMax}}})
 	}
-	return rt.ReadAll(y), rt.ReadScalar(sum), rt.ReadScalar(mx)
+	sv, _ := rt.ReadScalar(sum)
+	mv, _ := rt.ReadScalar(mx)
+	return rt.ReadAll(y), sv, mv
 }
 
 // TestChunkedBitIdenticalToPerPoint checks the determinism contract: the

@@ -48,11 +48,12 @@ const (
 )
 
 // CSRProvider supplies the CSR structure payload of SpMV loops: the local
-// rows for a given color (real execution) and aggregate statistics (cost
-// model).
+// rows for a given color (real execution) and aggregate statistics
+// including the value array's element type (cost model).
 type CSRProvider interface {
 	Local(color int) *kir.CSRLocal
 	Stats() (rowsPerPoint, nnzPerPoint float64)
+	ValDType() kir.DType
 }
 
 // Payload is the auxiliary, dependence-free data attached to a task:
@@ -79,9 +80,10 @@ func MergePayloads(tasks []*ir.Task) *Payload {
 	return out
 }
 
-// region is the backing storage for one store.
+// region is the backing storage for one store: a typed buffer allocated at
+// the store's element width.
 type region struct {
-	data []float64
+	data kir.Buffer
 }
 
 // Runtime is the Legion-analogue runtime instance.
@@ -176,12 +178,9 @@ func (rt *Runtime) regionFor(s *ir.Store, initRed ir.ReduceOp) *region {
 	defer rt.mu.Unlock()
 	r, ok := rt.regions[s.ID()]
 	if !ok {
-		r = &region{data: make([]float64, s.Size())}
+		r = &region{data: kir.AllocBuffer(s.DType(), s.Size())}
 		if initRed == ir.RedMax || initRed == ir.RedMin {
-			id := redIdentity(initRed)
-			for i := range r.data {
-				r.data[i] = id
-			}
+			r.data.Fill(redIdentity(initRed))
 		}
 		rt.regions[s.ID()] = r
 	}
@@ -215,46 +214,73 @@ func (rt *Runtime) FreeStore(id ir.StoreID) {
 	rt.mu.Unlock()
 }
 
-// ReadScalar returns element 0 of the store's region. ModeReal only; in
-// ModeSim data does not exist and 0 is returned (benchmarks use fixed
-// iteration counts rather than data-dependent convergence tests).
-func (rt *Runtime) ReadScalar(s *ir.Store) float64 {
+// ReadScalar returns element 0 of the store's region. In ModeSim data does
+// not exist: ok is false and the value 0 — callers that need a real value
+// must check ok instead of silently treating simulated reads as zeros.
+func (rt *Runtime) ReadScalar(s *ir.Store) (v float64, ok bool) {
 	return rt.ReadAt(s, 0)
 }
 
 // ReadAt returns the element at the given flat offset into the store's
 // canonical row-major layout — the deferred-read primitive scalar futures
-// resolve through once the producer chain has been flushed. ModeReal only;
-// ModeSim returns 0.
-func (rt *Runtime) ReadAt(s *ir.Store, off int) float64 {
+// resolve through once the producer chain has been flushed. In ModeSim no
+// data exists; ok reports whether the value is real.
+func (rt *Runtime) ReadAt(s *ir.Store, off int) (v float64, ok bool) {
 	if rt.mode == ModeSim {
-		return 0
+		return 0, false
 	}
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
-	return r.data[off]
+	return r.data.Get(off), true
 }
 
-// ReadAll copies out the store contents (tests and examples; ModeReal).
+// ReadAll copies out the store contents widened to float64 (tests and
+// examples; ModeReal).
 func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
-	out := make([]float64, len(r.data))
-	copy(out, r.data)
-	return out
+	return r.data.ToF64()
 }
 
-// WriteAll overwrites the store contents (tests and examples; ModeReal).
+// ReadAll32 copies out the store contents as float32 — exact for f32
+// stores, rounded for wider ones (host transfer without the 2x widening).
+func (rt *Runtime) ReadAll32(s *ir.Store) []float32 {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	r := rt.regionFor(s, ir.RedNone)
+	return r.data.ToF32()
+}
+
+// WriteAll overwrites the store contents, rounding each element to the
+// store's dtype (tests and examples; ModeReal).
 func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
 	r := rt.regionFor(s, ir.RedNone)
-	if len(data) != len(r.data) {
-		panic(fmt.Sprintf("legion: WriteAll size mismatch %d != %d", len(data), len(r.data)))
+	if len(data) != r.data.Len() {
+		panic(fmt.Sprintf("legion: WriteAll size mismatch %d != %d", len(data), r.data.Len()))
 	}
-	copy(r.data, data)
+	r.data.CopyFromF64(data)
+	rt.markHostWrite(s)
+}
+
+// WriteAll32 overwrites the store contents from float32 host data.
+func (rt *Runtime) WriteAll32(s *ir.Store, data []float32) {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	r := rt.regionFor(s, ir.RedNone)
+	if len(data) != r.data.Len() {
+		panic(fmt.Sprintf("legion: WriteAll32 size mismatch %d != %d", len(data), r.data.Len()))
+	}
+	r.data.CopyFromF32(data)
+	rt.markHostWrite(s)
+}
+
+// markHostWrite records a host-side covering write for coherence purposes.
+// Callers hold execMu.
+func (rt *Runtime) markHostWrite(s *ir.Store) {
 	rt.writers[s.ID()] = []ir.Partition{ir.ReplicateOver(ir.MakeRect(ir.Point{0}, ir.Point{1}))}
 }
 
@@ -293,7 +319,7 @@ func (rt *Runtime) coherence(t *ir.Task) {
 		// replicated scalars our libraries use).
 		if _, ok := rt.pendRed[a.Store.ID()]; ok && a.Priv.Reads() {
 			if rt.mode == ModeSim {
-				rt.sim.Communicate(machine.CollAllReduce, rt.sim.Cfg.GPUs, float64(a.Store.Size()*8))
+				rt.sim.Communicate(machine.CollAllReduce, rt.sim.Cfg.GPUs, float64(a.Store.SizeBytes()))
 			}
 			delete(rt.pendRed, a.Store.ID())
 		}
@@ -372,7 +398,7 @@ func (rt *Runtime) commBytes(a ir.Arg, ws []ir.Partition) float64 {
 		if n <= 1 {
 			return 0
 		}
-		return float64(a.Store.Size()*8) / float64(n)
+		return float64(a.Store.SizeBytes()) / float64(n)
 	default:
 		// Differently-tiled read (e.g. halo): bytes = |read sub-store|
 		// minus the locally available part under the best writer.
@@ -391,7 +417,7 @@ func (rt *Runtime) commBytes(a ir.Arg, ws []ir.Partition) float64 {
 		if missing < 0 {
 			missing = 0
 		}
-		return float64(missing * 8)
+		return float64(missing * a.Store.ElemSize())
 	}
 }
 

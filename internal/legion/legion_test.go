@@ -63,7 +63,7 @@ func TestParallelReduction(t *testing.T) {
 			{Store: s, Part: tile4(launch, 16), Priv: ir.Read},
 			{Store: acc, Part: ir.ReplicateOver(launch), Priv: ir.Reduce, Red: ir.RedSum},
 		}})
-	if got := rt.ReadScalar(acc); got != 32 {
+	if got, _ := rt.ReadScalar(acc); got != 32 {
 		t.Fatalf("sum = %g, want 32", got)
 	}
 }

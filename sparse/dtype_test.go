@@ -1,0 +1,92 @@
+package sparse_test
+
+import (
+	"testing"
+
+	"diffuse/cunum"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+	"diffuse/sparse"
+)
+
+func dtCtx() *cunum.Context {
+	cfg := core.Config{
+		Mode:          legion.ModeReal,
+		Machine:       machine.DefaultA100(4),
+		Enabled:       true,
+		InitialWindow: 8,
+		MaxWindow:     64,
+	}
+	return cunum.NewContext(core.New(cfg))
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestNewBoundsChecks: the unified constructor validates the CSR structure
+// up front — the regression tests for the index-type unification.
+func TestNewBoundsChecks(t *testing.T) {
+	ctx := dtCtx()
+	ok := func() ([]int, []int, []float64) {
+		return []int{0, 1, 2}, []int{0, 1}, []float64{1, 2}
+	}
+	// Baseline: the valid structure constructs.
+	rp, col, val := ok()
+	_ = sparse.New(ctx, "ok", 2, 2, rp, col, val)
+
+	mustPanic(t, "rowptr length", func() {
+		rp, col, val := ok()
+		_ = sparse.New(ctx, "bad", 3, 2, rp, col, val)
+	})
+	mustPanic(t, "rowptr[0] != 0", func() {
+		_, col, val := ok()
+		_ = sparse.New(ctx, "bad", 2, 2, []int{1, 1, 2}, col, val)
+	})
+	mustPanic(t, "non-monotone rowptr", func() {
+		_, col, val := ok()
+		_ = sparse.New(ctx, "bad", 2, 2, []int{0, 2, 1}, col, val)
+	})
+	mustPanic(t, "col out of range", func() {
+		rp, _, val := ok()
+		_ = sparse.New(ctx, "bad", 2, 2, rp, []int{0, 2}, val)
+	})
+	mustPanic(t, "negative col", func() {
+		rp, _, val := ok()
+		_ = sparse.New(ctx, "bad", 2, 2, rp, []int{0, -1}, val)
+	})
+	mustPanic(t, "nnz/val mismatch", func() {
+		rp, col, _ := ok()
+		_ = sparse.New(ctx, "bad", 2, 2, rp, col, []float64{1})
+	})
+}
+
+// TestSpMV32 checks the f32 value path end to end: f32 matrix values
+// against an f32 dense operand produce the f32 product.
+func TestSpMV32(t *testing.T) {
+	ctx := dtCtx()
+	// [2 -1 0; -1 2 -1; 0 -1 2] in CSR.
+	rowptr := []int{0, 2, 5, 7}
+	col := []int{0, 1, 0, 1, 2, 1, 2}
+	val := []float32{2, -1, -1, 2, -1, -1, 2}
+	m := sparse.New32(ctx, "tri32", 3, 3, rowptr, col, val)
+	x := ctx.OnesT(cunum.F32, 3)
+	y := m.SpMV(x).Keep()
+	if y.DType() != cunum.F32 {
+		t.Fatalf("f32 SpMV result dtype = %v", y.DType())
+	}
+	h := y.ToHost32()
+	want := []float32{1, 0, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+}

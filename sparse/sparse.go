@@ -9,6 +9,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"diffuse/cunum"
@@ -55,27 +56,74 @@ type CSR struct {
 	rows, cols int
 	// locals holds the per-point row blocks (nil in simulated mode).
 	locals []*kir.CSRLocal
-	// Aggregate statistics for the cost model. haloPP is the average
-	// bytes of the dense operand each point task must fetch from remote
-	// row blocks (the image of the matrix outside the local block).
-	rowsPP, nnzPP, haloPP float64
-	key                   int
-	name                  string
+	// Aggregate statistics for the cost model. haloElemsPP is the average
+	// number of dense-operand elements each point task must fetch from
+	// remote row blocks (the image of the matrix outside the local
+	// block); it is priced at the dense operand's element width at SpMV
+	// emission, since x's dtype is independent of the values'.
+	// haloBytesPP, when nonzero, overrides that computation outright —
+	// synthetic (ModeSim) matrices declare their halo volume in bytes.
+	rowsPP, nnzPP float64
+	haloElemsPP   float64
+	haloBytesPP   float64
+	valDT         kir.DType
+	key           int
+	name          string
 }
 
 var _ legion.CSRProvider = (*CSR)(nil)
 
-// New builds a distributed CSR matrix from host structure arrays
-// (row-major CSR with 64-bit row offsets, 32-bit column indices). The rows
-// are partitioned into contiguous blocks, one per processor.
-func New(ctx *cunum.Context, name string, rows, cols int, rowptr []int64, col []int32, val []float64) *CSR {
+// New builds a distributed CSR matrix from host structure arrays in
+// row-major CSR form, storing float64 values. Index slices are plain ints
+// — earlier revisions demanded 64-bit row offsets next to 32-bit column
+// indices, and every caller juggled the conversion; the typed machinery
+// now owns the narrowing (with bounds checks) behind this one signature.
+// The rows are partitioned into contiguous blocks, one per processor.
+func New(ctx *cunum.Context, name string, rows, cols int, rowptr, col []int, val []float64) *CSR {
+	return NewTyped(ctx, name, rows, cols, rowptr, col, kir.BufF64(val))
+}
+
+// New32 is New with float32 values: half the value-array traffic per SpMV,
+// feeding the evaluator's f32 fast path when the dense operand is f32 too.
+func New32(ctx *cunum.Context, name string, rows, cols int, rowptr, col []int, val []float32) *CSR {
+	return NewTyped(ctx, name, rows, cols, rowptr, col, kir.BufF32(val))
+}
+
+// NewTyped builds a distributed CSR matrix whose values live in the given
+// typed buffer (either precision). The structure is validated up front —
+// monotone row offsets, column indices inside [0, cols), value/column
+// lengths agreeing with rowptr[rows], and a total entry count that fits
+// the runtime's 32-bit local indices — so a malformed matrix fails at
+// construction instead of as a data race deep inside a point task.
+func NewTyped(ctx *cunum.Context, name string, rows, cols int, rowptr, col []int, val kir.Buffer) *CSR {
 	if len(rowptr) != rows+1 {
 		panic(fmt.Sprintf("sparse: rowptr length %d != rows+1 (%d)", len(rowptr), rows+1))
 	}
+	if rowptr[0] != 0 {
+		panic(fmt.Sprintf("sparse: rowptr[0] = %d, want 0", rowptr[0]))
+	}
+	for i := 0; i < rows; i++ {
+		if rowptr[i+1] < rowptr[i] {
+			panic(fmt.Sprintf("sparse: rowptr not monotone at row %d (%d > %d)", i, rowptr[i], rowptr[i+1]))
+		}
+	}
+	nnz := rowptr[rows]
+	if nnz != len(col) || nnz != val.Len() {
+		panic(fmt.Sprintf("sparse: rowptr[rows]=%d disagrees with len(col)=%d / len(val)=%d", nnz, len(col), val.Len()))
+	}
+	if nnz > math.MaxInt32 || cols > math.MaxInt32 {
+		panic(fmt.Sprintf("sparse: matrix too large for 32-bit local indices (nnz=%d cols=%d)", nnz, cols))
+	}
+	for k, cc := range col {
+		if cc < 0 || cc >= cols {
+			panic(fmt.Sprintf("sparse: column index %d out of range [0,%d) at entry %d", cc, cols, k))
+		}
+	}
 	m := &CSR{
 		ctx: ctx, rows: rows, cols: cols,
-		key:  int(payloadKeys.Add(1)),
-		name: name,
+		valDT: val.DType(),
+		key:   int(payloadKeys.Add(1)),
+		name:  name,
 	}
 	p := ctx.Procs()
 	tile := (rows + p - 1) / p
@@ -101,8 +149,12 @@ func New(ctx *cunum.Context, name string, rows, cols int, rowptr []int64, col []
 		for i := 0; i <= n; i++ {
 			local.RowPtr[i] = int32(rowptr[lo+i] - base)
 		}
-		local.Col = col[base:rowptr[hi]]
-		local.Val = val[base:rowptr[hi]]
+		end := rowptr[hi]
+		local.Col = make([]int32, end-base)
+		for k := base; k < end; k++ {
+			local.Col[k-base] = int32(col[k])
+		}
+		local.Val = val.Slice(base, end)
 		totalNNZ += len(local.Col)
 		xlo, xhi := int32(c*xTile), int32((c+1)*xTile)
 		seen := map[int32]bool{}
@@ -116,7 +168,7 @@ func New(ctx *cunum.Context, name string, rows, cols int, rowptr []int64, col []
 	}
 	m.rowsPP = float64(rows) / float64(p)
 	m.nnzPP = float64(totalNNZ) / float64(p)
-	m.haloPP = 8 * float64(totalHalo) / float64(p)
+	m.haloElemsPP = float64(totalHalo) / float64(p)
 	return m
 }
 
@@ -129,11 +181,11 @@ func Synthetic(ctx *cunum.Context, name string, rows, cols int, nnzPerRow, haloB
 	p := ctx.Procs()
 	return &CSR{
 		ctx: ctx, rows: rows, cols: cols,
-		rowsPP: float64(rows) / float64(p),
-		nnzPP:  float64(rows) * nnzPerRow / float64(p),
-		haloPP: haloBytesPerPoint,
-		key:    int(payloadKeys.Add(1)),
-		name:   name,
+		rowsPP:      float64(rows) / float64(p),
+		nnzPP:       float64(rows) * nnzPerRow / float64(p),
+		haloBytesPP: haloBytesPerPoint,
+		key:         int(payloadKeys.Add(1)),
+		name:        name,
 	}
 }
 
@@ -154,6 +206,21 @@ func (m *CSR) Local(color int) *kir.CSRLocal {
 // Stats implements legion.CSRProvider.
 func (m *CSR) Stats() (rowsPerPoint, nnzPerPoint float64) { return m.rowsPP, m.nnzPP }
 
+// ValDType implements legion.CSRProvider: the element type the matrix
+// stores its values in (F64 for synthetic matrices, which never
+// dereference data).
+func (m *CSR) ValDType() kir.DType { return m.valDT }
+
+// haloBytes prices the per-point halo of the dense operand x: remotely
+// gathered elements at x's own element width, unless a synthetic matrix
+// declared its halo volume in bytes directly.
+func (m *CSR) haloBytes(x *cunum.Array) float64 {
+	if m.haloBytesPP > 0 {
+		return m.haloBytesPP
+	}
+	return m.haloElemsPP * float64(x.DType().Size())
+}
+
 // SpMV returns y = A @ x as a fresh (ephemeral) distributed vector. The
 // dense operand is read replicated; the CSR structure rides along as a
 // dependence-free payload (it is immutable for the life of the matrix).
@@ -163,11 +230,13 @@ func (m *CSR) SpMV(x *cunum.Array) *cunum.Array {
 		panic(fmt.Sprintf("sparse: SpMV shape mismatch: matrix (%d,%d), vector %v", m.rows, m.cols, x.Shape()))
 	}
 	launch := ctx.LaunchFor(1)
-	y := ctx.NewDistArray("spmv", []int{m.rows}, true)
+	// The product takes the dense operand's dtype; an all-f32 triple
+	// (values, x, y) runs the evaluator's f32 SpMV fast path.
+	y := ctx.NewDistArrayT("spmv", x.DType(), []int{m.rows}, true)
 
 	name := fmt.Sprintf("spmv#%d", m.key)
 	args := []ir.Arg{
-		{Store: x.Store(), Part: x.ReplicatedPartition(launch), Priv: ir.Read, HaloBytes: m.haloPP},
+		{Store: x.Store(), Part: x.ReplicatedPartition(launch), Priv: ir.Read, HaloBytes: m.haloBytes(x)},
 		{Store: y.Store(), Part: y.Partition(), Priv: ir.Write},
 	}
 	k := kir.NewKernel(name, 2)

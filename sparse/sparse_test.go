@@ -22,8 +22,8 @@ func ctxWith(enabled bool, procs int, mode legion.Mode) *cunum.Context {
 // randomCSR builds a random sparse matrix and its dense mirror.
 func randomCSR(ctx *cunum.Context, rng *rand.Rand, rows, cols int) (*sparse.CSR, [][]float64) {
 	dense := make([][]float64, rows)
-	rowptr := make([]int64, rows+1)
-	var col []int32
+	rowptr := make([]int, rows+1)
+	var col []int
 	var val []float64
 	for i := 0; i < rows; i++ {
 		dense[i] = make([]float64, cols)
@@ -31,11 +31,11 @@ func randomCSR(ctx *cunum.Context, rng *rand.Rand, rows, cols int) (*sparse.CSR,
 			if rng.Float64() < 0.3 {
 				v := rng.NormFloat64()
 				dense[i][j] = v
-				col = append(col, int32(j))
+				col = append(col, j)
 				val = append(val, v)
 			}
 		}
-		rowptr[i+1] = int64(len(col))
+		rowptr[i+1] = len(col)
 	}
 	return sparse.New(ctx, "rand", rows, cols, rowptr, col, val), dense
 }
@@ -140,21 +140,21 @@ func TestHaloStats(t *testing.T) {
 	// columns outside its own block (one per side).
 	ctx := ctxWith(true, 4, legion.ModeReal)
 	n := 64
-	rowptr := make([]int64, n+1)
-	var col []int32
+	rowptr := make([]int, n+1)
+	var col []int
 	var val []float64
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			col = append(col, int32(i-1))
+			col = append(col, i-1)
 			val = append(val, -1)
 		}
-		col = append(col, int32(i))
+		col = append(col, i)
 		val = append(val, 2)
 		if i < n-1 {
-			col = append(col, int32(i+1))
+			col = append(col, i+1)
 			val = append(val, -1)
 		}
-		rowptr[i+1] = int64(len(col))
+		rowptr[i+1] = len(col)
 	}
 	m := sparse.New(ctx, "tri", n, n, rowptr, col, val)
 	x := ctx.Ones(n)
