@@ -62,6 +62,11 @@ type ExecPolicy = legion.ExecPolicy
 // chunks claimed, steals); read it via rt.Legion().ExecStats().
 type ExecStats = legion.ExecStats
 
+// ShardStats counts sharded-execution activity (groups drained, stages,
+// halo exchanges, deferred frees) when Config.Shards > 1; read it via
+// rt.Legion().ShardStatsSnapshot().
+type ShardStats = legion.ShardStats
+
 // Real-mode executor policies.
 const (
 	// ExecChunked (default) schedules point tasks on a persistent,

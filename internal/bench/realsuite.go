@@ -26,18 +26,21 @@ import (
 // RealSchema versions the BENCH_real.json layout; bump it when fields
 // change so the CI schema gate fails loudly instead of silently drifting.
 // v2 added the dtype column (f32 rows for Black-Scholes and Jacobi) and
-// the f32-vs-f64 ratio on reduced-precision rows.
-const RealSchema = "diffuse-bench-real/v2"
+// the f32-vs-f64 ratio on reduced-precision rows. v3 added the shards
+// column (sharded-execution rows for the Jacobi-MRHS workload) and the
+// shards-vs-1 ratio on sharded rows.
+const RealSchema = "diffuse-bench-real/v3"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
-	App   string `json:"app"`
-	Size  string `json:"size"`
-	N     int    `json:"n"`     // problem parameter (rows, grid side, options)
-	Procs int    `json:"procs"` // launch width: point tasks per index task
-	DType string `json:"dtype"` // element type of the app's arrays (f64/f32)
-	Fused bool   `json:"fused"` // Diffuse fusion enabled
-	Iters int    `json:"iters"` // timed iterations
+	App    string `json:"app"`
+	Size   string `json:"size"`
+	N      int    `json:"n"`      // problem parameter (rows, grid side, options)
+	Procs  int    `json:"procs"`  // launch width: point tasks per index task
+	Shards int    `json:"shards"` // sharded-execution block count (1 = off)
+	DType  string `json:"dtype"`  // element type of the app's arrays (f64/f32)
+	Fused  bool   `json:"fused"`  // Diffuse fusion enabled
+	Iters  int    `json:"iters"`  // timed iterations
 
 	ChunkedNsPerIter  float64 `json:"chunked_ns_per_iter"`
 	PerPointNsPerIter float64 `json:"perpoint_ns_per_iter"`
@@ -49,6 +52,11 @@ type RealResult struct {
 	// ns/iter divided by this row's — the wall-clock value of halving the
 	// element width on this app/size, >1 when f32 wins.
 	F32SpeedupVsF64 float64 `json:"f32_speedup_vs_f64,omitempty"`
+
+	// ShardSpeedupVs1 (shards > 1 rows only) is the matching shards=1
+	// row's chunked ns/iter divided by this row's — the wall-clock value
+	// of shard-major scheduling on this app/size, >1 when sharding wins.
+	ShardSpeedupVs1 float64 `json:"shard_speedup_vs_1,omitempty"`
 
 	TasksPerIter float64 `json:"tasks_per_iter"` // index tasks reaching legion
 	// FusionRatio is the fraction of submitted tasks folded into fusions
@@ -74,6 +82,7 @@ type realCase struct {
 	size   string
 	n      int
 	dtype  cunum.DType
+	shards int // sharded-execution block count (0/1 = off)
 	warmup int
 	iters  int
 	reps   int
@@ -96,6 +105,15 @@ func mkBlackScholes(ctx *cunum.Context, n int, dt cunum.DType) Instance {
 
 func mkSWE(ctx *cunum.Context, n int, _ cunum.DType) Instance {
 	return Instance{Ctx: ctx, Iterate: apps.NewSWE(ctx, n, n, false).Iterate}
+}
+
+// mrhsK is the right-hand-side count of the Jacobi-MRHS rows: enough
+// sweeps over the shared matrix that shard-major blocking has reuse to
+// exploit, small enough that the rows stay minutes, not hours.
+const mrhsK = 8
+
+func mkJacobiMRHS(ctx *cunum.Context, n int, dt cunum.DType) Instance {
+	return Instance{Ctx: ctx, Iterate: apps.NewJacobiMRHS(ctx, n, mrhsK, dt).Iterate}
 }
 
 // realCases returns the rows of a preset. "full" is the committed
@@ -133,6 +151,18 @@ func realCases(preset string) []realCase {
 			{app: "SWE", size: "small", n: 16, warmup: 4, iters: 60, reps: 3, make: mkSWE},
 			{app: "SWE", size: "medium", n: 48, warmup: 3, iters: 30, reps: 3, make: mkSWE},
 			{app: "SWE", size: "large", n: 128, warmup: 3, iters: 10, reps: 2, make: mkSWE},
+			// Jacobi-MRHS: k=8 right-hand sides sharing one dense matrix —
+			// the bandwidth-bound workload of the sharded-execution rows.
+			// "large" (n=4096: a 134 MB matrix streamed 8x per iteration)
+			// exceeds the TLB/cache reach, so shard-major scheduling at
+			// 2 and 4 shards recovers locality the flat task stream
+			// cannot; "medium" fits near memory and bounds the effect
+			// from below. Results are bit-identical across shard counts.
+			{app: "Jacobi-MRHS", size: "medium", n: 2048, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
+			{app: "Jacobi-MRHS", size: "medium", n: 2048, shards: 4, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
+			{app: "Jacobi-MRHS", size: "large", n: 4096, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
+			{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 2, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
+			{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 4, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
 		}
 	case "tiny":
 		return []realCase{
@@ -142,30 +172,34 @@ func realCases(preset string) []realCase {
 			{app: "Black-Scholes", size: "tiny", n: 256, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
 			{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
 			{app: "SWE", size: "tiny", n: 24, warmup: 1, iters: 3, reps: 1, make: mkSWE},
+			{app: "Jacobi-MRHS", size: "tiny", n: 256, warmup: 1, iters: 3, reps: 1, make: mkJacobiMRHS},
+			{app: "Jacobi-MRHS", size: "tiny", n: 256, shards: 4, warmup: 1, iters: 3, reps: 1, make: mkJacobiMRHS},
 		}
 	default:
 		return nil
 	}
 }
 
-// realContext builds a ModeReal cunum context with the given fusion and
-// executor settings.
-func realContext(procs int, fused bool, policy legion.ExecPolicy) *cunum.Context {
+// realContext builds a ModeReal cunum context with the given fusion,
+// executor, and sharding settings.
+func realContext(procs int, fused bool, policy legion.ExecPolicy, shards int) *cunum.Context {
 	cfg := core.DefaultConfig(procs)
 	cfg.Mode = legion.ModeReal
 	cfg.Machine = machine.DefaultA100(procs)
 	cfg.Enabled = fused
 	cfg.Exec = policy
+	cfg.Shards = shards
 	return cunum.NewContext(core.New(cfg))
 }
 
 // measureCase runs one configuration on a fresh context and returns
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
-	ctx := realContext(procs, fused, policy)
+	ctx := realContext(procs, fused, policy, c.shards)
 	inst := c.make(ctx, c.n, c.dtype)
 	inst.Iterate(c.warmup) // window growth, JIT, memo saturation
 	ctx.Flush()
+	ctx.Runtime().Legion().DrainShardGroup()
 	rt := ctx.Runtime()
 	leg := rt.Legion()
 	s0 := rt.Stats()
@@ -173,6 +207,7 @@ func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (n
 	t0 := time.Now()
 	inst.Iterate(c.iters)
 	ctx.Flush()
+	ctx.Runtime().Legion().DrainShardGroup()
 	dt := time.Since(t0)
 	s1 := rt.Stats()
 	nsPerIter = float64(dt.Nanoseconds()) / float64(c.iters)
@@ -199,20 +234,29 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
 		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %6s %14s %14s %8s %8s %10s %7s\n",
-		"App", "Size", "N", "DType", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "Tasks/Iter", "Fusion")
-	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio.
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %6s %14s %14s %8s %8s %8s %10s %7s\n",
+		"App", "Size", "N", "DType", "Sh", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "Tasks/Iter", "Fusion")
+	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio,
+	// and of the shards=1 rows, keyed for the shards-vs-1 ratio.
 	f64Chunked := map[string]float64{}
+	unshardedChunked := map[string]float64{}
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
+			// The per-point column is always the *unsharded* v1 baseline:
+			// under sharding both policies would route through the shard
+			// scheduler, so measuring ExecPerPoint at shards>1 would just
+			// re-measure the chunked path. On sharded rows "speedup" is
+			// therefore the whole sharded stack against the v1 executor.
+			cPP := c
+			cPP.shards = 0
 			for rep := 0; rep < c.reps; rep++ {
 				// Alternate executors within each rep so drift on shared
 				// machines hits both sides; keep the per-executor minimum.
 				runtime.GC()
 				cNs, tpi, fr := measureCase(c, procs, fused, legion.ExecChunked)
 				runtime.GC()
-				pNs, _, _ := measureCase(c, procs, fused, legion.ExecPerPoint)
+				pNs, _, _ := measureCase(cPP, procs, fused, legion.ExecPerPoint)
 				if rep == 0 || cNs < chunkNs {
 					chunkNs = cNs
 				}
@@ -221,15 +265,20 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				}
 				tasks, ratio = tpi, fr
 			}
+			shards := c.shards
+			if shards < 1 {
+				shards = 1
+			}
 			res := RealResult{
 				App: c.app, Size: c.size, N: c.n, Procs: procs,
-				DType: c.dtype.String(), Fused: fused,
+				Shards: shards,
+				DType:  c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
 				ChunkedNsPerIter: chunkNs, PerPointNsPerIter: ppNs,
 				Speedup:      ppNs / chunkNs,
 				TasksPerIter: tasks, FusionRatio: ratio,
 			}
-			pairKey := fmt.Sprintf("%s/%s/%v", c.app, c.size, fused)
+			pairKey := fmt.Sprintf("%s/%s/%d/%v", c.app, c.size, shards, fused)
 			vsF64 := ""
 			switch c.dtype {
 			case cunum.F64:
@@ -242,10 +291,19 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 					vsF64 = fmt.Sprintf("%6.2fx", res.F32SpeedupVsF64)
 				}
 			}
+			shardKey := fmt.Sprintf("%s/%s/%s/%v", c.app, c.size, c.dtype, fused)
+			vsUnsharded := ""
+			if shards == 1 {
+				unshardedChunked[shardKey] = chunkNs
+			} else if base, ok := unshardedChunked[shardKey]; ok && chunkNs > 0 {
+				// The shards=1 twin runs earlier in the case list.
+				res.ShardSpeedupVs1 = base / chunkNs
+				vsUnsharded = fmt.Sprintf("%6.2fx", res.ShardSpeedupVs1)
+			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %6v %14.0f %14.0f %7.2fx %8s %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.DType, res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, vsF64, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %6v %14.0f %14.0f %7.2fx %8s %8s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Shards, res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
 	return suite, nil
@@ -261,9 +319,10 @@ func MarshalRealSuite(s *RealSuite) ([]byte, error) {
 }
 
 // realResultKeys are the per-row fields the schema gate requires
-// ("f32_speedup_vs_f64" is optional: it only appears on f32 rows).
+// ("f32_speedup_vs_f64" and "shard_speedup_vs_1" are optional: they only
+// appear on f32 and shards>1 rows respectively).
 var realResultKeys = []string{
-	"app", "size", "n", "procs", "dtype", "fused", "iters",
+	"app", "size", "n", "procs", "shards", "dtype", "fused", "iters",
 	"chunked_ns_per_iter", "perpoint_ns_per_iter", "speedup",
 	"tasks_per_iter", "fusion_ratio",
 }
@@ -302,6 +361,9 @@ func ValidateRealSuite(data []byte) error {
 	for i, r := range s.Results {
 		if r.App == "" || r.Size == "" || r.Iters <= 0 || r.Procs <= 0 {
 			return fmt.Errorf("bench: result %d has empty identity fields", i)
+		}
+		if r.Shards < 1 {
+			return fmt.Errorf("bench: result %d has shard count %d, want >= 1", i, r.Shards)
 		}
 		if r.DType != "f64" && r.DType != "f32" {
 			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)

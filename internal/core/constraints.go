@@ -3,11 +3,15 @@ package core
 import "diffuse/internal/ir"
 
 // The four fusion constraints of Fig. 5, implemented as an incremental
-// forwards dataflow over the task window. effects tracks, per store, the
-// partitions through which the prefix so far has read, written, and
-// reduced; admitting one more task is a constant number of map lookups and
-// constant-time partition equality checks per argument — never a pairwise
-// sub-store intersection (that is the scale-free property of §4.2.1).
+// forwards dataflow over the task window, plus two of our own: the dtype
+// constraint of the typed-value system (a prefix spans element types only
+// across an explicit cast) and the repartition constraint of sharded
+// execution (a prefix never crosses a Reshard boundary). effects tracks,
+// per store, the partitions through which the prefix so far has read,
+// written, and reduced; admitting one more task is a constant number of
+// map lookups and constant-time partition equality checks per argument —
+// never a pairwise sub-store intersection (that is the scale-free property
+// of §4.2.1).
 
 type storeEffects struct {
 	// writeParts are the distinct partitions through which the prefix
@@ -25,6 +29,14 @@ type storeEffects struct {
 	// launches, which alias across point tasks even under partition
 	// equality — the formal model (Def. 3) rejects them, and so do we.
 	allConflict bool
+	// shardGen is the store's repartition generation when the prefix first
+	// touched it. The repartition constraint (beyond Fig. 5): a later task
+	// observing a different generation means the store was Resharded in
+	// between, and the runtime must see both sides separately to move data
+	// between the decompositions — fusing across the boundary would bake
+	// the old decomposition into the fused task.
+	shardGen int64
+	genSet   bool
 }
 
 type dataflow struct {
@@ -88,6 +100,11 @@ func (d *dataflow) admits(t *ir.Task) bool {
 			continue
 		}
 		if e.allConflict {
+			return false
+		}
+		// Repartition constraint: the store was Resharded since the prefix
+		// first touched it.
+		if e.genSet && e.shardGen != a.ShardGen {
 			return false
 		}
 		if d.selfAliases(a) {
@@ -233,6 +250,10 @@ func (d *dataflow) record(t *ir.Task) {
 	for _, a := range t.Args {
 		d.dtypes[a.Store.DType()] = true
 		e := d.eff(a.Store)
+		if !e.genSet {
+			e.shardGen = a.ShardGen
+			e.genSet = true
+		}
 		if a.Priv.Reads() {
 			e.readParts = addPart(e.readParts, a.Part)
 		}

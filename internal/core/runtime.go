@@ -38,6 +38,14 @@ type Config struct {
 	// baseline (legion.ExecPerPoint) that the benchmark suite measures
 	// against. Ignored in ModeSim.
 	Exec legion.ExecPolicy
+	// Shards enables sharded execution (ModeReal): stores are decomposed
+	// into this many leading-axis blocks, and the runtime buffers
+	// compatible tasks into groups it executes shard-major — one task plan
+	// per shard on the work-stealing executor, with explicit halo-exchange
+	// boundaries between dependent tasks whose partitions misalign. 0 or 1
+	// disables sharding; results (including reductions) are bit-identical
+	// across shard counts. See DESIGN.md "Sharded execution".
+	Shards int
 
 	// Enabled turns the fusion layer on. When false, Diffuse is a
 	// pass-through and the system behaves like standard cuPyNumeric /
@@ -122,6 +130,7 @@ func New(cfg Config) *Runtime {
 		memo: map[string]*memoEntry{},
 	}
 	r.leg.SetExecPolicy(cfg.Exec)
+	r.leg.SetShards(cfg.Shards)
 	r.stats.WindowSize = cfg.InitialWindow
 	r.def = r.NewSession()
 	return r
@@ -150,12 +159,26 @@ func (r *Runtime) Procs() int { return r.cfg.Machine.GPUs }
 // Stores are shared across sessions: any session may submit tasks against
 // any store.
 func (r *Runtime) NewStore(name string, shape []int) *ir.Store {
-	return r.fact.NewStore(name, shape)
+	s := r.fact.NewStore(name, shape)
+	s.SetShards(r.cfg.Shards)
+	return s
 }
 
 // NewStoreTyped allocates a store with an explicit element type.
 func (r *Runtime) NewStoreTyped(name string, shape []int, dtype ir.DType) *ir.Store {
-	return r.fact.NewStoreTyped(name, shape, dtype)
+	s := r.fact.NewStoreTyped(name, shape, dtype)
+	s.SetShards(r.cfg.Shards)
+	return s
+}
+
+// Reshard changes a store's leading-axis block decomposition mid-stream.
+// The pending sharded group is drained first (the runtime must finish work
+// issued against the old decomposition), and tasks submitted afterwards
+// carry a new repartition generation, so no fused prefix ever spans the
+// boundary (the sixth fusion constraint).
+func (r *Runtime) Reshard(s *ir.Store, n int) {
+	r.leg.DrainShardGroup()
+	s.Reshard(n)
 }
 
 // ReleaseStore drops the application's reference to a store. If the store

@@ -60,6 +60,13 @@ func (s *Session) Submit(t *ir.Task) {
 			t.Kernel.SetDType(i, a.Store.DType())
 		}
 	}
+	// Stamp each argument with its store's repartition generation: the
+	// fusion analysis compares generations (not live store state, which a
+	// later Reshard would have overwritten by analysis time) to keep
+	// prefixes from crossing a repartition boundary.
+	for i := range t.Args {
+		t.Args[i].ShardGen = t.Args[i].Store.ShardGen()
+	}
 	r := s.rt
 	r.mu.Lock()
 	r.seq++

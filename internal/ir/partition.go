@@ -33,6 +33,7 @@ func (pr *Projection) Apply(p Point) Point { return pr.apply(p) }
 // ID returns the projection's identity.
 func (pr *Projection) ID() int64 { return pr.id }
 
+// String implements fmt.Stringer.
 func (pr *Projection) String() string { return fmt.Sprintf("proj#%d(%s)", pr.id, pr.name) }
 
 // PartKind is the syntactic kind of a partition. The fusion analysis only
@@ -48,6 +49,7 @@ const (
 	KindTiling
 )
 
+// String implements fmt.Stringer.
 func (k PartKind) String() string {
 	switch k {
 	case KindNone:
@@ -127,6 +129,7 @@ func (n *NonePart) Fingerprint() string {
 	return fmt.Sprintf("None%s", n.Colors)
 }
 
+// String implements fmt.Stringer.
 func (n *NonePart) String() string { return n.Fingerprint() }
 
 // TilingPart is an n-dimensional affine tiling of a view of a store (paper
@@ -296,6 +299,7 @@ func (t *TilingPart) Fingerprint() string {
 	return b.String()
 }
 
+// String implements fmt.Stringer.
 func (t *TilingPart) String() string { return t.Fingerprint() }
 
 func intsEqual(a, b []int) bool {

@@ -60,6 +60,7 @@ func (p Point) Mul(q Point) Point {
 	return r
 }
 
+// String implements fmt.Stringer.
 func (p Point) String() string {
 	var b strings.Builder
 	b.WriteByte('(')
@@ -222,6 +223,7 @@ func (r Rect) Points() []Point {
 	return pts
 }
 
+// String implements fmt.Stringer.
 func (r Rect) String() string {
 	return fmt.Sprintf("[%s,%s)", r.Lo, r.Hi)
 }

@@ -40,6 +40,11 @@ type Store struct {
 
 	appRefs atomic.Int64 // references held by the application / libraries
 	runRefs atomic.Int64 // references held by the runtime (pending tasks)
+
+	// Leading-axis block decomposition (see shard.go). shardCount <= 1
+	// means unsharded; shardGen counts repartitions.
+	shardCount atomic.Int64
+	shardGen   atomic.Int64
 }
 
 // Factory allocates stores with unique IDs. It is the single source of
@@ -148,6 +153,7 @@ func (s *Store) Dead() bool {
 	return s.appRefs.Load() == 0 && s.runRefs.Load() == 0
 }
 
+// String implements fmt.Stringer.
 func (s *Store) String() string {
 	return fmt.Sprintf("Store(%d %q %v %s)", s.id, s.name, s.shape, s.dtype)
 }

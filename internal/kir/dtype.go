@@ -37,6 +37,7 @@ func (d DType) Size() int {
 	}
 }
 
+// String implements fmt.Stringer.
 func (d DType) String() string {
 	switch d {
 	case F64:

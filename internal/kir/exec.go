@@ -32,6 +32,19 @@ type Binding struct {
 	hasGlobal bool
 }
 
+// Rebase retargets the binding onto a sub-buffer of its region starting at
+// flat offset lo (a shard-local region instance), preserving the original
+// global-coordinate accessor so generator loops (Random, Iota) still
+// derive values from distributed coordinates. Locals rebound by Execute
+// overwrite the preserved accessor afterwards, so Rebase must not be
+// applied to local parameters.
+func (b *Binding) Rebase(data Buffer, lo int) {
+	b.global = b.Acc
+	b.hasGlobal = true
+	b.Acc.Data = data
+	b.Acc.Base -= lo
+}
+
 // CSRLocal is the local rows of a CSR matrix owned by one point task.
 // Column indices are global (they index the full dense vector parameter).
 // 32-bit indices mirror the paper's §7 methodology (both Legate Sparse and

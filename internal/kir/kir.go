@@ -73,6 +73,7 @@ var opNames = map[Op]string{
 	OpSel: "sel", OpCast: "cast",
 }
 
+// String implements fmt.Stringer.
 func (o Op) String() string { return opNames[o] }
 
 // Arity returns the number of expression operands of the operator.
@@ -417,6 +418,7 @@ func Concat(name string, nparams int, kernels []*Kernel, mappings [][]int) *Kern
 // MarkLocal demotes parameter p to a task-local allocation (Fig. 8c).
 func (k *Kernel) MarkLocal(p int) { k.Local[p] = true }
 
+// String implements fmt.Stringer.
 func (k *Kernel) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "kernel %s(%d params)\n", k.Name, k.NParams)

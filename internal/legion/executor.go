@@ -212,7 +212,10 @@ func (ws *workerState) release() {
 	}
 }
 
-// execBatch is one index task in flight on the pool.
+// execBatch is one unit of work in flight on the pool: either one index
+// task whose chunks of contiguous point-task colors the participants
+// claim, or (shardRun set) one sharded stage whose claimable units are
+// whole shards.
 type execBatch struct {
 	plan    *taskPlan
 	comp    *kir.Compiled
@@ -221,6 +224,11 @@ type execBatch struct {
 	chunk   int // points per chunk
 	nparts  int // populated claim ranges (woken workers + submitter)
 	wg      sync.WaitGroup
+
+	// shardRun, when set, turns the batch into a sharded stage: claimed
+	// indices are shard numbers, and the claimant runs the whole shard
+	// (every stage task's points for that shard) in one call.
+	shardRun func(ws *workerState, shard int)
 }
 
 // taskPlan caches everything executeChunked can pre-resolve for a task
@@ -503,6 +511,19 @@ func (e *executor) runPoint(b *execBatch, ws *workerState, pi int, color ir.Poin
 // back, then the backs of the other participants' ranges.
 func (e *executor) run(b *execBatch, wsIdx, rangeIdx int) {
 	ws := &e.ws[wsIdx]
+	if b.shardRun != nil {
+		for {
+			s, stolen, ok := e.claimChunk(rangeIdx, b.nparts)
+			if !ok {
+				return
+			}
+			e.chunks.Add(1)
+			if stolen {
+				e.steals.Add(1)
+			}
+			b.shardRun(ws, s)
+		}
+	}
 	ws.prepare(len(b.plan.args), b.payload)
 	defer ws.release()
 	n := len(b.colors)
@@ -573,28 +594,53 @@ func (rt *Runtime) executeChunked(t *ir.Task) {
 		sub.release()
 	} else {
 		e.pooled.Add(1)
-		nchunks := (n + chunk - 1) / chunk
 		b.chunk = chunk
-		// Participants: up to nw workers, plus the submitter (always the
-		// last claim range). Never wake more workers than there are
-		// chunks left after the submitter's.
-		woken := e.nw
-		if nchunks-1 < woken {
-			woken = nchunks - 1
-		}
-		b.nparts = woken + 1
-		for i := 0; i < b.nparts; i++ {
-			e.ranges[i].set(i*nchunks/b.nparts, (i+1)*nchunks/b.nparts)
-		}
-		e.startWorkers()
-		b.wg.Add(woken)
-		for w := 0; w < woken; w++ {
-			e.wake[w] <- b
-		}
-		e.run(b, e.nw, b.nparts-1)
-		b.wg.Wait()
+		e.dispatch(b, (n+chunk-1)/chunk)
 	}
 	plan.foldPartials(t)
+}
+
+// dispatch fans one batch of nunits claimable units (dispatch chunks, or
+// whole shards when b.shardRun is set) out across the pool: up to nw
+// woken workers plus the submitting goroutine (always the last claim
+// range), never waking more workers than there are units left after the
+// submitter's. Returns after every unit has run.
+func (e *executor) dispatch(b *execBatch, nunits int) {
+	woken := e.nw
+	if nunits-1 < woken {
+		woken = nunits - 1
+	}
+	b.nparts = woken + 1
+	for i := 0; i < b.nparts; i++ {
+		e.ranges[i].set(i*nunits/b.nparts, (i+1)*nunits/b.nparts)
+	}
+	e.startWorkers()
+	b.wg.Add(woken)
+	for w := 0; w < woken; w++ {
+		e.wake[w] <- b
+	}
+	e.run(b, e.nw, b.nparts-1)
+	b.wg.Wait()
+}
+
+// runShards dispatches one sharded stage onto the pool: shard indices
+// [0, nshards) are the claimable units, spread across the woken workers
+// and the submitting goroutine exactly like chunk ranges (idle
+// participants steal whole shards from the back of others' ranges). With
+// a single-worker pool the submitter runs every shard in ascending order —
+// strict shard-major, the cache-friendly order the scheduler wants on a
+// serial host.
+func (e *executor) runShards(nshards int, fn func(ws *workerState, shard int)) {
+	if e.nw <= 1 || nshards <= 1 {
+		sub := &e.ws[e.nw]
+		for s := 0; s < nshards; s++ {
+			fn(sub, s)
+		}
+		return
+	}
+	e.pooled.Add(1)
+	b := &execBatch{shardRun: fn}
+	e.dispatch(b, nshards)
 }
 
 // SetExecPolicy selects the real-mode executor implementation. It must be

@@ -24,6 +24,14 @@
 // task protocol end to end (the same Execute entry point, dependence
 // analysis, and compiled kernels), so a fusion decision that is legal in
 // one is legal in the other.
+//
+// With SetShards > 1 (core.Config.Shards), real-mode execution is
+// additionally *sharded* (shard.go): tasks buffer into groups that run
+// shard-major over leading-axis blocks — one task plan per shard on the
+// work-stealing executor, halo-exchange stage boundaries between
+// dependent tasks whose partitions misalign, and shard-local region
+// instances bounding each shard's accesses. Results stay bit-identical
+// to unsharded execution at every shard count.
 package legion
 
 import (
@@ -118,6 +126,15 @@ type Runtime struct {
 	plans     map[*kir.Kernel]*taskPlan
 	freeEpoch int64
 
+	// Sharded execution state (see shard.go): the configured shard count,
+	// the buffered task group, frees deferred while the group references
+	// their stores, and the activity counters (guarded by execMu).
+	shards         int
+	group          *shardGroup
+	deferredFrees  []ir.StoreID
+	deferredFreeIn map[ir.StoreID]bool
+	shardStats     ShardStats
+
 	// ExecutedTasks counts index tasks that reached the runtime (post
 	// fusion); used by the Fig. 9 accounting.
 	ExecutedTasks int64
@@ -202,12 +219,31 @@ func redIdentity(op ir.ReduceOp) float64 {
 // cached execution plans re-resolve their regions on next use instead of
 // executing against an orphaned buffer. Bumping an epoch (rather than
 // scanning the plan cache) keeps frees O(1) — iterative apps free dozens
-// of temporaries per iteration.
+// of temporaries per iteration. When a buffered shard group still
+// references the store (its tasks have not executed yet), the free is
+// deferred until the group drains — draining the whole group on every
+// temporary's death would dissolve exactly the groups sharding exists to
+// build.
 func (rt *Runtime) FreeStore(id ir.StoreID) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.group != nil && rt.group.refs[id] > 0 && !rt.deferredFreeIn[id] {
+		if rt.deferredFreeIn == nil {
+			rt.deferredFreeIn = map[ir.StoreID]bool{}
+		}
+		rt.deferredFreeIn[id] = true
+		rt.deferredFrees = append(rt.deferredFrees, id)
+		rt.shardStats.DeferredFrees++
+		return
+	}
+	rt.freeStoreLocked(id)
+}
+
+// freeStoreLocked performs the actual free. Callers hold execMu.
+func (rt *Runtime) freeStoreLocked(id ir.StoreID) {
 	delete(rt.writers, id)
 	delete(rt.pendRed, id)
+	delete(rt.deferredFreeIn, id)
 	rt.freeEpoch++
 	rt.mu.Lock()
 	delete(rt.regions, id)
@@ -231,6 +267,7 @@ func (rt *Runtime) ReadAt(s *ir.Store, off int) (v float64, ok bool) {
 	}
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.Get(off), true
 }
@@ -240,6 +277,7 @@ func (rt *Runtime) ReadAt(s *ir.Store, off int) (v float64, ok bool) {
 func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.ToF64()
 }
@@ -249,6 +287,7 @@ func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 func (rt *Runtime) ReadAll32(s *ir.Store) []float32 {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.ToF32()
 }
@@ -258,6 +297,7 @@ func (rt *Runtime) ReadAll32(s *ir.Store) []float32 {
 func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	if len(data) != r.data.Len() {
 		panic(fmt.Sprintf("legion: WriteAll size mismatch %d != %d", len(data), r.data.Len()))
@@ -270,6 +310,7 @@ func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
 func (rt *Runtime) WriteAll32(s *ir.Store, data []float32) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	if len(data) != r.data.Len() {
 		panic(fmt.Sprintf("legion: WriteAll32 size mismatch %d != %d", len(data), r.data.Len()))
@@ -286,7 +327,10 @@ func (rt *Runtime) markHostWrite(s *ir.Store) {
 
 // Execute runs one index task to completion (issue-order execution; the
 // fusion layer above has already extracted the available parallelism into
-// point tasks).
+// point tasks). Under sharded execution (SetShards > 1, ModeReal) the
+// task may instead join the buffered shard group and execute at the next
+// barrier — host reads and writes drain the group, so deferral is never
+// observable through the data.
 func (rt *Runtime) Execute(t *ir.Task) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
@@ -297,9 +341,31 @@ func (rt *Runtime) Execute(t *ir.Task) {
 	rt.coherence(t)
 	if rt.mode == ModeSim {
 		rt.executeSim(t)
-	} else {
-		rt.executeReal(t)
+		rt.updateWriters(t)
+		return
 	}
+	if rt.shardActive() {
+		if rt.groupable(t) {
+			// A kernel already buffered would collide with its cached
+			// plan's reduction partials: finish the group, then start a
+			// fresh one with this task (memoized streams replay the same
+			// kernel object once per iteration, so iteration boundaries
+			// drain naturally). A shard-generation change on any shared
+			// store — a Reshard between the two submissions — is likewise
+			// a group boundary.
+			if rt.group != nil && (rt.group.kernels[t.Kernel] || rt.group.genConflict(t)) {
+				rt.drainShardGroupLocked()
+			}
+			rt.enqueueShard(t)
+			rt.updateWriters(t)
+			return
+		}
+		// Incompatible task: everything buffered runs first (program
+		// order), then the task itself through the unsharded path.
+		rt.shardStats.Fallbacks++
+		rt.drainShardGroupLocked()
+	}
+	rt.executeReal(t)
 	rt.updateWriters(t)
 }
 

@@ -1,0 +1,562 @@
+package legion
+
+// Sharded execution mode. When a runtime is configured with S > 1 shards
+// (core.Config.Shards), incoming real-mode index tasks are not executed
+// eagerly: compatible tasks accumulate into a *shard group*, and the group
+// executes when a barrier forces it — a host-side read or write, a free of
+// a store the group references, an incompatible task, or an explicit
+// DrainShardGroup. The group is scheduled *shard-major* ("owner computes"):
+// the launch domain of every task is decomposed into S contiguous
+// leading-axis blocks, and each shard runs the whole group's point tasks
+// for its block before the next shard starts — one task plan per shard,
+// dispatched onto the existing work-stealing executor (each shard is one
+// claimable unit; idle workers steal whole shards).
+//
+// Why: consecutive tasks that sweep the same large operands (the multi-RHS
+// sweeps of internal/bench's Jacobi-MRHS workload) touch each block S
+// times in quick succession instead of streaming the full operand once per
+// task, which is worth >1.3x wall-clock on bandwidth-bound streams whose
+// working set exceeds the cache/TLB reach. Fusion achieves the same
+// locality *inside* a fused kernel; sharding recovers it for the task
+// streams fusion cannot merge (and composes with it across fused tasks).
+//
+// Dependences and halo exchange: shard-major order runs a later task's
+// shard s before an earlier task's shard s+1, which is only legal when no
+// data flows between them. The group is therefore split into *stages*:
+// within a stage, every dependence is point-wise through structurally
+// equal partitions (so shard blocks never exchange data), and every
+// dependence whose partitions misalign — a stencil reading its producer
+// through shifted views, a replicated read of a distributed write, SpMV
+// neighborhoods — ends the stage with an explicit halo-exchange step. The
+// stage boundary completes all shards of the producer, reconciles the
+// shard-local instances (see below), and only then starts the consumer's
+// shards. Reductions complete (their per-point partials fold, in point
+// order) at the end of their stage, before any later-stage reader.
+//
+// Shard-local region instances: each shard's point tasks access store data
+// through a bounds-enforcing sub-buffer of the store's region covering
+// exactly the shard's footprint (its block plus the halo margin admitted
+// by the current stage). On this single-address-space host the instances
+// alias the canonical region, so the halo-exchange step moves no bytes —
+// it is the scheduling barrier plus coherence bookkeeping, and the
+// simulated runtime charges the byte movement for the same access pattern
+// through its coherence model (legion.coherence, machine.CollHalo). On a
+// distributed substrate the same step is where the boundary rows would
+// travel. The aliased instances are still load-bearing: a point task
+// reaching outside its shard's declared footprint faults immediately
+// (slice bounds) instead of silently reading another shard's data.
+//
+// Determinism: the point decomposition, the per-point reduction partial
+// cells, and the point-order fold are identical for every shard count, so
+// results — including floating-point reductions — are bit-identical across
+// Shards=1,2,4,... and across any work-stealing schedule.
+
+import (
+	"math"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// ShardStats counts sharded-execution activity since the runtime was
+// created (all zero when sharding is off).
+type ShardStats struct {
+	// Groups is the number of shard groups drained.
+	Groups int64
+	// GroupedTasks is the number of index tasks executed through groups.
+	GroupedTasks int64
+	// Stages is the number of stages executed across all groups.
+	Stages int64
+	// HaloExchanges is the number of explicit halo-exchange stage
+	// boundaries (dependent tasks whose partitions misalign).
+	HaloExchanges int64
+	// HaloElemsMoved estimates the elements a distributed runtime would
+	// move at those boundaries (zero copies happen on this shared-memory
+	// host; see the package comment).
+	HaloElemsMoved int64
+	// ShardUnits is the number of (task, shard) execution units run.
+	ShardUnits int64
+	// Fallbacks is the number of tasks that could not join a group and
+	// executed through the unsharded path.
+	Fallbacks int64
+	// DeferredFrees is the number of store frees postponed until the
+	// group referencing them drained.
+	DeferredFrees int64
+}
+
+// groupEntry is one index task buffered in the shard group.
+type groupEntry struct {
+	task  *ir.Task
+	stage int
+	plan  *taskPlan
+	comp  *kir.Compiled
+}
+
+// partStage is one (partition, latest stage) entry of a store's in-group
+// read history.
+type partStage struct {
+	part  ir.Partition
+	stage int
+}
+
+// storeAccess tracks the in-group access history of one store, for the
+// stage computation. A single slot suffices for writes: a second write
+// through a different partition is always bumped past the first, so the
+// recorded write is the latest-stage one and every conflicting access
+// bumps past it. Reads need the full per-partition history — two reads
+// through different partitions can legally share a stage, and a later
+// writer must see *both* (a masked replicated reader would otherwise let
+// the writer into its stage and corrupt the reader's view at other
+// shards).
+type storeAccess struct {
+	writeStage int // latest stage writing the store, -1 if none
+	writePart  ir.Partition
+	reads      []partStage // distinct read partitions, latest stage each
+	redStage   int         // latest stage reducing to the store, -1 if none
+	redOp      ir.ReduceOp
+}
+
+// readStageOf returns the latest stage the store was read at (-1 if
+// never) — reductions and conservative checks that need "any read".
+func (acc *storeAccess) readStageOf() int {
+	st := -1
+	for _, r := range acc.reads {
+		if r.stage > st {
+			st = r.stage
+		}
+	}
+	return st
+}
+
+// recordRead notes a read through part at the given stage.
+func (acc *storeAccess) recordRead(part ir.Partition, stage int) {
+	for i := range acc.reads {
+		if acc.reads[i].part.Equal(part) {
+			if stage > acc.reads[i].stage {
+				acc.reads[i].stage = stage
+			}
+			return
+		}
+	}
+	acc.reads = append(acc.reads, partStage{part: part, stage: stage})
+}
+
+// shardGroup is the buffered task group of a sharded runtime.
+type shardGroup struct {
+	entries []groupEntry
+	kernels map[*kir.Kernel]bool
+	access  map[ir.StoreID]*storeAccess
+	refs    map[ir.StoreID]int   // stores referenced by buffered tasks
+	gens    map[ir.StoreID]int64 // shard generation each store entered with
+	stages  int                  // 1 + max entry stage
+}
+
+// maxGroupTasks caps the group; longer streams drain in slabs.
+const maxGroupTasks = 4096
+
+func newShardGroup() *shardGroup {
+	return &shardGroup{
+		kernels: map[*kir.Kernel]bool{},
+		access:  map[ir.StoreID]*storeAccess{},
+		refs:    map[ir.StoreID]int{},
+		gens:    map[ir.StoreID]int64{},
+	}
+}
+
+// genConflict reports whether the task observes a different shard
+// generation than the group recorded for any shared store — a Reshard
+// happened between the two submissions, and the group must drain so the
+// runtime is free to move data between the decompositions (the runtime
+// side of the fusion layer's repartition constraint; this holds even
+// when pre-Reshard tasks were still buffered in a session window when
+// the Reshard was issued).
+func (g *shardGroup) genConflict(t *ir.Task) bool {
+	for _, a := range t.Args {
+		if gen, ok := g.gens[a.Store.ID()]; ok && gen != a.ShardGen {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *shardGroup) acc(id ir.StoreID) *storeAccess {
+	a, ok := g.access[id]
+	if !ok {
+		a = &storeAccess{writeStage: -1, redStage: -1}
+		g.access[id] = a
+	}
+	return a
+}
+
+// shardActive reports whether sharded execution applies to this runtime.
+func (rt *Runtime) shardActive() bool {
+	return rt.mode == ModeReal && rt.shards > 1
+}
+
+// SetShards configures the shard count of sharded execution. Like
+// SetExecPolicy it must be called before any task executes; n <= 1
+// disables sharding.
+func (rt *Runtime) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	rt.shards = n
+}
+
+// Shards returns the configured shard count (>= 1).
+func (rt *Runtime) Shards() int {
+	if rt.shards < 1 {
+		return 1
+	}
+	return rt.shards
+}
+
+// ShardStatsSnapshot returns a copy of the sharded-execution counters.
+func (rt *Runtime) ShardStatsSnapshot() ShardStats {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	return rt.shardStats
+}
+
+// DrainShardGroup forces any buffered shard group to execute. Host-side
+// reads and writes drain implicitly; explicit drains are needed only
+// around operations the runtime cannot see (e.g. core.Runtime.Reshard).
+func (rt *Runtime) DrainShardGroup() {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	rt.drainShardGroupLocked()
+}
+
+// groupable reports whether the task can ever join a shard group: a task
+// with a compiled kernel and arguments the executor's binding recipes
+// cover. A kernel object already buffered in the current group forces a
+// drain first (plans — and their reduction partials — are keyed by
+// kernel, so one kernel appears at most once per group); Execute handles
+// that case by draining and starting a fresh group.
+func (rt *Runtime) groupable(t *ir.Task) bool {
+	if t.Kernel == nil || t.Launch.Rank() < 1 || t.Launch.Size() == 0 {
+		return false
+	}
+	for _, a := range t.Args {
+		switch a.Part.(type) {
+		case *ir.NonePart, *ir.TilingPart:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// enqueueShard admits a task into the shard group, computing its stage
+// from the group's dependence state. Callers hold execMu and have already
+// checked groupable.
+func (rt *Runtime) enqueueShard(t *ir.Task) {
+	g := rt.group
+	if g == nil {
+		g = newShardGroup()
+		rt.group = g
+	}
+
+	// Stage assignment: start at the earliest stage consistent with every
+	// in-group dependence, bumping past a stage boundary (and recording a
+	// halo exchange) whenever the dependence's partitions misalign.
+	stage := 0
+	bump := func(s int) {
+		if s+1 > stage {
+			stage = s + 1
+		}
+	}
+	join := func(s int) {
+		if s > stage {
+			stage = s
+		}
+	}
+	for _, a := range t.Args {
+		acc, seen := g.access[a.Store.ID()]
+		if !seen {
+			continue
+		}
+		// Reductions pending on the store complete at the end of their
+		// stage; any later access waits for the fold.
+		if acc.redStage >= 0 && !(a.Priv.Reduces() && acc.redOp == a.Red) {
+			bump(acc.redStage)
+		}
+		if a.Priv.Reduces() {
+			if acc.writeStage >= 0 {
+				bump(acc.writeStage)
+			}
+			if rs := acc.readStageOf(); rs >= 0 {
+				bump(rs)
+			}
+			if acc.redStage >= 0 && acc.redOp == a.Red {
+				join(acc.redStage)
+			}
+			continue
+		}
+		if a.Priv.Reads() && acc.writeStage >= 0 {
+			if acc.writePart.Equal(a.Part) {
+				join(acc.writeStage)
+			} else {
+				bump(acc.writeStage)
+				rt.recordHalo(t, a, acc)
+			}
+		}
+		if a.Priv.Writes() {
+			if acc.writeStage >= 0 {
+				if acc.writePart.Equal(a.Part) {
+					join(acc.writeStage)
+				} else {
+					bump(acc.writeStage)
+				}
+			}
+			// Anti-dependences against *every* distinct read partition:
+			// the write shares a stage with point-wise (equal-partition)
+			// readers only, and lands strictly after every misaligned one.
+			for _, r := range acc.reads {
+				if r.part.Equal(a.Part) {
+					join(r.stage)
+				} else {
+					bump(r.stage)
+				}
+			}
+		}
+	}
+
+	// Record the task's own effects at its stage.
+	for _, a := range t.Args {
+		acc := g.acc(a.Store.ID())
+		g.refs[a.Store.ID()]++
+		if _, ok := g.gens[a.Store.ID()]; !ok {
+			g.gens[a.Store.ID()] = a.ShardGen
+		}
+		switch {
+		case a.Priv.Reduces():
+			acc.redStage = stage
+			acc.redOp = a.Red
+		default:
+			if a.Priv.Reads() {
+				acc.recordRead(a.Part, stage)
+			}
+			if a.Priv.Writes() && stage >= acc.writeStage {
+				acc.writeStage = stage
+				acc.writePart = a.Part
+			}
+		}
+	}
+	g.kernels[t.Kernel] = true
+	g.entries = append(g.entries, groupEntry{task: t, stage: stage})
+	if stage+1 > g.stages {
+		g.stages = stage + 1
+	}
+	if len(g.entries) >= maxGroupTasks {
+		rt.drainShardGroupLocked()
+	}
+}
+
+// recordHalo accounts one misaligned read dependence: the halo-exchange
+// step its stage boundary implies, and an estimate of the rows a
+// distributed runtime would move there (reader footprint at an interior
+// shard boundary minus the writer's, per boundary).
+func (rt *Runtime) recordHalo(t *ir.Task, a ir.Arg, acc *storeAccess) {
+	rt.shardStats.HaloExchanges++
+	parent := a.Store.Bounds()
+	c := interiorColor(a.Part.ColorSpace())
+	readR := a.Part.SubRect(c, parent)
+	missing := readR.Size()
+	// Credit the overlap with the writer's footprint at the same color
+	// when the color spaces are comparable (a reader and writer launched
+	// over different domains share no color to compare at — charge the
+	// full read footprint, as a full repartition would).
+	if ws := acc.writePart.ColorSpace(); ws.Rank() == len(c) && ws.Contains(c) {
+		if ov := readR.Intersect(acc.writePart.SubRect(c, parent)).Size(); ov > 0 {
+			missing -= ov
+		}
+	}
+	if missing < 0 {
+		missing = 0
+	}
+	seff := rt.shardsForLaunch(t.Launch)
+	rt.shardStats.HaloElemsMoved += int64(missing * (seff - 1))
+}
+
+// shardsForLaunch returns the effective shard count of a launch domain:
+// the configured count, capped by the leading-axis extent.
+func (rt *Runtime) shardsForLaunch(launch ir.Rect) int {
+	ext := launch.Hi[0] - launch.Lo[0]
+	s := rt.Shards()
+	if ext < s {
+		s = ext
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardColorRange returns the contiguous index interval [lo, hi) of
+// plan.colors owned by shard s: the colors whose leading coordinate falls
+// in shard s's block of the launch domain (colors enumerate row-major, so
+// leading-axis blocks are contiguous).
+func shardColorRange(launch ir.Rect, ncolors, s, shards int) (lo, hi int) {
+	ext := launch.Hi[0] - launch.Lo[0]
+	if ext <= 0 {
+		return 0, 0
+	}
+	rowW := ncolors / ext
+	blo, bhi := ir.ShardBlock(s, shards, ext)
+	return blo * rowW, bhi * rowW
+}
+
+// drainShardGroupLocked executes the buffered group stage by stage, each
+// stage shard-major on the work-stealing executor, then processes frees
+// deferred while the group pinned their stores. Callers hold execMu.
+func (rt *Runtime) drainShardGroupLocked() {
+	g := rt.group
+	if g == nil {
+		return
+	}
+	rt.group = nil
+	if len(g.entries) > 0 {
+		rt.shardStats.Groups++
+		rt.shardStats.GroupedTasks += int64(len(g.entries))
+
+		// Resolve every task's plan and compiled kernel up front (regions
+		// may allocate; single-threaded here), then run the stages.
+		for i := range g.entries {
+			e := &g.entries[i]
+			e.comp = rt.Compiled(e.task.Kernel)
+			e.plan = rt.planFor(e.task, e.comp)
+			e.plan.resetPartials(e.task, len(e.plan.colors))
+		}
+		for stage := 0; stage < g.stages; stage++ {
+			var units []*groupEntry
+			for i := range g.entries {
+				if g.entries[i].stage == stage {
+					units = append(units, &g.entries[i])
+				}
+			}
+			rt.runShardStage(units)
+		}
+	}
+
+	// Frees deferred while the group referenced their stores.
+	if len(rt.deferredFrees) > 0 {
+		for _, id := range rt.deferredFrees {
+			rt.freeStoreLocked(id)
+		}
+		rt.deferredFrees = rt.deferredFrees[:0]
+	}
+}
+
+// runShardStage executes one stage's tasks shard-major: shard indices are
+// the claimable units of the work-stealing executor, and whichever
+// participant claims shard s runs *all* of the stage's point tasks for
+// that shard, in task order, against the shard's region instances. After
+// the stage barrier, reduction partials fold in point order (task order
+// within the stage), exactly as the unsharded executor folds them.
+func (rt *Runtime) runShardStage(units []*groupEntry) {
+	if len(units) == 0 {
+		return
+	}
+	rt.shardStats.Stages++
+	shards := rt.Shards()
+	e := rt.exec
+	runner := func(ws *workerState, s int) {
+		for _, u := range units {
+			rt.runUnitShard(u, ws, s, shards)
+		}
+	}
+	e.runShards(shards, runner)
+	for _, u := range units {
+		u.plan.foldPartials(u.task)
+	}
+}
+
+// runUnitShard executes one (task, shard) unit: the task's point tasks
+// whose colors fall in the shard's leading-axis block, bound against
+// shard-local region instances.
+func (rt *Runtime) runUnitShard(u *groupEntry, ws *workerState, s, shards int) {
+	plan := u.plan
+	lo, hi := shardColorRange(u.task.Launch, len(plan.colors), s, shards)
+	if lo >= hi {
+		return
+	}
+	rt.shardStats.ShardUnits++
+	payload, _ := u.task.Payload.(*Payload)
+	ws.prepare(len(plan.args), payload)
+	defer ws.release()
+
+	// Shard-local instances: one bounds-enforcing sub-buffer per tiled
+	// argument, covering exactly this shard's footprint (block plus the
+	// halo margin its stage admits). Replicated (None) arguments read the
+	// canonical instance; reductions accumulate into per-point partials.
+	insts := shardInstances(plan, lo, hi)
+
+	for pi := lo; pi < hi; pi++ {
+		bindPoint(plan, ws, pi, plan.colors[pi])
+		for i := range plan.args {
+			if inst := &insts[i]; !inst.buf.IsNil() {
+				ws.pa.Bind[i].Rebase(inst.buf, inst.lo)
+			}
+		}
+		if payload != nil && len(payload.CSR) > 0 {
+			for k, prov := range payload.CSR {
+				ws.pa.Payloads[k] = prov.Local(pi)
+			}
+		}
+		u.comp.Execute(&ws.pa)
+	}
+}
+
+// shardInst is one shard-local instance: an aliased sub-buffer of the
+// canonical region covering flat elements [lo, hi).
+type shardInst struct {
+	buf kir.Buffer
+	lo  int
+}
+
+// shardInstances computes the per-argument instances of one (task, shard)
+// unit from the plan's binding coefficients: the tight flat-offset span
+// the shard's point tasks access. Reduction cells, temporary-eliminated
+// (local) arguments, and replicated arguments keep their existing binding.
+func shardInstances(plan *taskPlan, lo, hi int) []shardInst {
+	insts := make([]shardInst, len(plan.args))
+	for i := range plan.args {
+		ap := &plan.args[i]
+		if ap.priv.Reduces() || ap.local || ap.isNone || ap.tp == nil {
+			continue
+		}
+		minBase, maxLast := math.MaxInt, -1
+		for pi := lo; pi < hi; pi++ {
+			c := ap.tp.Proj.Apply(plan.colors[pi])
+			base, last, empty := ap.offBase, 0, false
+			for d := range ap.tileCoef {
+				cd := c[d]
+				base += cd * ap.tileCoef[d]
+				e := ap.tp.View[d] - cd*ap.tp.Tile[d]
+				if e > ap.tp.Tile[d] {
+					e = ap.tp.Tile[d]
+				}
+				if e <= 0 {
+					empty = true
+					break
+				}
+				last += (e - 1) * ap.accStr[d]
+			}
+			if empty {
+				continue
+			}
+			if base < minBase {
+				minBase = base
+			}
+			if base+last > maxLast {
+				maxLast = base + last
+			}
+		}
+		if maxLast < 0 || minBase > maxLast {
+			continue // no elements accessed by this shard
+		}
+		insts[i] = shardInst{buf: ap.data.Slice(minBase, maxLast+1), lo: minBase}
+	}
+	return insts
+}
