@@ -17,6 +17,13 @@
 //	diffuse-bench -real -realout BENCH_real.json # also write the JSON document
 //	diffuse-bench -real -realpreset tiny         # CI smoke sizes
 //	diffuse-bench -checkreal BENCH_real.json     # schema gate: validate and exit
+//
+// And the CI perf-regression gate: compare a freshly measured suite
+// against the committed trajectory and exit nonzero if any matching row's
+// ratio metrics (executor / sharding / wavefront speedups) regressed more
+// than -comparetol (default 25%):
+//
+//	diffuse-bench -compare /tmp/fresh.json BENCH_real.json
 package main
 
 import (
@@ -46,8 +53,39 @@ func main() {
 		realProcs  = flag.Int("realprocs", 8, "real suite launch width (point tasks per index task)")
 		realOut    = flag.String("realout", "", "write the real-suite JSON document to this path")
 		checkReal  = flag.String("checkreal", "", "validate a BENCH_real.json against the schema and exit")
+		compare    = flag.String("compare", "", "fresh suite JSON to compare against the committed trajectory (positional arg, default BENCH_real.json); exit nonzero on regression")
+		compareTol = flag.Float64("comparetol", bench.DefaultCompareTolerance, "allowed fractional regression of ratio metrics before -compare fails")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		committedPath := flag.Arg(0)
+		if committedPath == "" {
+			committedPath = "BENCH_real.json"
+		}
+		freshData, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		committedData, err := os.ReadFile(committedPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("comparing %s against committed %s (tolerance %.0f%%)\n", *compare, committedPath, *compareTol*100)
+		regressions, err := bench.CompareRealSuites(freshData, committedData, *compareTol, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "%d perf regression(s) beyond %.0f%% tolerance\n", regressions, *compareTol*100)
+			os.Exit(1)
+		}
+		fmt.Println("perf gate OK")
+		return
+	}
 
 	gpus := parseGPUs(*gpusFlag)
 	sc := bench.Scale(*scaleFlag)

@@ -67,6 +67,9 @@ type ExecStats = legion.ExecStats
 // rt.Legion().ShardStatsSnapshot().
 type ShardStats = legion.ShardStats
 
+// WavefrontMode selects the sharded drain scheduler (Config.Wavefront).
+type WavefrontMode = legion.WavefrontMode
+
 // Real-mode executor policies.
 const (
 	// ExecChunked (default) schedules point tasks on a persistent,
@@ -76,6 +79,18 @@ const (
 	// ExecPerPoint spawns one goroutine per point task (the v1 executor,
 	// kept as the measured baseline of BENCH_real.json).
 	ExecPerPoint = legion.ExecPerPoint
+)
+
+// Sharded drain schedulers (Config.Wavefront; only meaningful when
+// Config.Shards > 1).
+const (
+	// WavefrontOn (default) drains shard groups through the per-(shard,
+	// stage) dependence DAG: a shard's next stage waits only on its own
+	// previous stage plus the specific neighbor halo sends it consumes.
+	WavefrontOn = legion.WavefrontOn
+	// WavefrontOff drains with global stage barriers (the v1 scheduler,
+	// kept as the measured baseline of the wavefront benchmark rows).
+	WavefrontOff = legion.WavefrontOff
 )
 
 // Execution modes.

@@ -1,0 +1,128 @@
+package bench
+
+// The CI perf-regression gate behind `diffuse-bench -compare`: a freshly
+// measured suite (CI runs the tiny preset) is matched row by row against
+// the committed trajectory, and the gate fails when a matching row's
+// *ratio* metrics regress beyond the tolerance. Absolute ns/iter are
+// machine-dependent — a CI runner and the machine that produced the
+// committed file share almost nothing — but each row's ratios (chunked vs
+// per-point executor, sharded vs unsharded, wavefront vs stage-barrier)
+// are measured within one run on one machine, so a collapse there means
+// the code, not the hardware, got slower. The committed full trajectory
+// includes the tiny smoke rows precisely so CI's fresh tiny run has exact
+// identity matches.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultCompareTolerance is the fraction a ratio metric may fall below
+// its committed value before the gate fails (0.25 = fail under 75% of the
+// committed ratio). Tiny-preset rows run few iterations, so the gate
+// deliberately ignores noise-sized wobble and catches collapses.
+const DefaultCompareTolerance = 0.25
+
+// compareKey is the row identity rows are matched on.
+type compareKey struct {
+	App       string
+	Size      string
+	N         int
+	Shards    int
+	Wavefront bool
+	DType     string
+	Fused     bool
+}
+
+func keyOf(r RealResult) compareKey {
+	return compareKey{App: r.App, Size: r.Size, N: r.N, Shards: r.Shards,
+		Wavefront: r.Wavefront, DType: r.DType, Fused: r.Fused}
+}
+
+func (k compareKey) String() string {
+	return fmt.Sprintf("%s/%s/n=%d/shards=%d/wf=%v/%s/fused=%v",
+		k.App, k.Size, k.N, k.Shards, k.Wavefront, k.DType, k.Fused)
+}
+
+// CompareRealSuites validates both documents against the current schema,
+// matches fresh rows to committed rows by identity, and reports every
+// ratio metric that regressed by more than tol. Fresh rows with no
+// committed match are reported (not failed) — a new workload lands in the
+// fresh file one PR before its trajectory is committed. Returns the number
+// of regressions (0 = gate passes).
+func CompareRealSuites(freshData, committedData []byte, tol float64, w io.Writer) (int, error) {
+	if tol <= 0 {
+		tol = DefaultCompareTolerance
+	}
+	fresh, err := decodeSuite(freshData)
+	if err != nil {
+		return 0, fmt.Errorf("fresh suite: %w", err)
+	}
+	committed, err := decodeSuite(committedData)
+	if err != nil {
+		return 0, fmt.Errorf("committed suite: %w", err)
+	}
+	// Ratios shift with core count for hardware reasons (the per-point
+	// baseline parallelizes differently than the pool), so a comparison
+	// is only meaningful at the committed trajectory's parallelism. The
+	// CI job pins GOMAXPROCS to the committed file's value; a mismatch
+	// here means the harness contract broke, not the code.
+	if fresh.GoMaxProcs != committed.GoMaxProcs {
+		return 0, fmt.Errorf("bench: fresh suite ran at GOMAXPROCS=%d but the committed trajectory was recorded at %d — rerun with GOMAXPROCS=%d (or regenerate the trajectory)",
+			fresh.GoMaxProcs, committed.GoMaxProcs, committed.GoMaxProcs)
+	}
+	base := map[compareKey]RealResult{}
+	for _, r := range committed.Results {
+		base[keyOf(r)] = r
+	}
+	regressions, matched := 0, 0
+	for _, fr := range fresh.Results {
+		cr, ok := base[keyOf(fr)]
+		if !ok {
+			fmt.Fprintf(w, "  skip %s: no committed row\n", keyOf(fr))
+			continue
+		}
+		matched++
+		check := func(metric string, got, want, mtol float64) {
+			if want <= 0 || got <= 0 {
+				return // metric absent on one side (e.g. twin measured later)
+			}
+			if mtol > 0.9 {
+				mtol = 0.9
+			}
+			if got < want*(1-mtol) {
+				regressions++
+				fmt.Fprintf(w, "  REGRESSION %s: %s %.2fx, committed %.2fx (floor %.2fx)\n",
+					keyOf(fr), metric, got, want, want*(1-mtol))
+			} else {
+				fmt.Fprintf(w, "  ok %s: %s %.2fx vs %.2fx\n", keyOf(fr), metric, got, want)
+			}
+		}
+		// Speedup is a within-row ratio: both executors are measured
+		// interleaved inside one case loop, so it gets the full
+		// tolerance. The sharding and wavefront ratios divide chunked
+		// times from *different rows* measured minutes apart — twice the
+		// noise exposure on second-long tiny rows — so their floor is
+		// doubled: the gate still catches a collapse (a lost scheduler is
+		// a >2x swing on the committed rows) without flaking on wobble.
+		check("chunked-vs-perpoint", fr.Speedup, cr.Speedup, tol)
+		check("shards-vs-1", fr.ShardSpeedupVs1, cr.ShardSpeedupVs1, 2*tol)
+		check("wavefront-vs-barrier", fr.WavefrontSpeedupVsBarrier, cr.WavefrontSpeedupVsBarrier, 2*tol)
+	}
+	if matched == 0 {
+		return 0, fmt.Errorf("bench: no fresh row matched any committed row — presets out of sync")
+	}
+	return regressions, nil
+}
+
+func decodeSuite(data []byte) (*RealSuite, error) {
+	if err := ValidateRealSuite(data); err != nil {
+		return nil, err
+	}
+	var s RealSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func suiteJSON(t *testing.T, rows []RealResult) []byte {
+	t.Helper()
+	s := &RealSuite{Schema: RealSchema, Command: "test", GoMaxProcs: 1, Procs: 8, Preset: "tiny", Results: rows}
+	data, err := MarshalRealSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func row(app string, shards int, wavefront bool, speedup, shardVs1, wfVsBarrier float64) RealResult {
+	return RealResult{
+		App: app, Size: "tiny", N: 64, Procs: 8, Shards: shards, Wavefront: wavefront,
+		DType: "f64", Fused: true, Iters: 3,
+		ChunkedNsPerIter: 100, PerPointNsPerIter: 100 * speedup, Speedup: speedup,
+		ShardSpeedupVs1: shardVs1, WavefrontSpeedupVsBarrier: wfVsBarrier,
+		TasksPerIter: 5, FusionRatio: 0.5,
+	}
+}
+
+// TestCompareRealSuites: matching rows pass inside the tolerance, fail
+// beyond it, and unmatched rows are skipped without failing the gate.
+func TestCompareRealSuites(t *testing.T) {
+	committed := suiteJSON(t, []RealResult{
+		row("A", 1, true, 2.0, 0, 0),
+		row("B", 4, true, 2.0, 1.5, 1.6),
+	})
+
+	var out bytes.Buffer
+	fresh := suiteJSON(t, []RealResult{
+		row("A", 1, true, 1.6, 0, 0),     // within 25% of 2.0
+		row("B", 4, true, 1.9, 1.4, 1.3), // all within
+		row("C", 1, true, 1.0, 0, 0),     // no committed twin: skipped
+	})
+	n, err := CompareRealSuites(fresh, committed, 0.25, &out)
+	if err != nil || n != 0 {
+		t.Fatalf("clean compare: regressions=%d err=%v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("unmatched fresh row not reported as skipped:\n%s", out.String())
+	}
+
+	// Cross-row ratios get twice the tolerance: 1.0 vs committed 1.6 is
+	// inside the doubled floor (0.8), 0.7 is not.
+	out.Reset()
+	fresh = suiteJSON(t, []RealResult{row("B", 4, true, 2.0, 1.5, 1.0)})
+	n, err = CompareRealSuites(fresh, committed, 0.25, &out)
+	if err != nil || n != 0 {
+		t.Fatalf("wobbling wavefront ratio should pass the doubled floor: regressions=%d err=%v\n%s", n, err, out.String())
+	}
+	out.Reset()
+	fresh = suiteJSON(t, []RealResult{row("B", 4, true, 2.0, 1.5, 0.7)})
+	n, err = CompareRealSuites(fresh, committed, 0.25, &out)
+	if err != nil || n != 1 {
+		t.Fatalf("collapsed wavefront ratio: regressions=%d err=%v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "wavefront-vs-barrier") {
+		t.Fatalf("regression metric not named:\n%s", out.String())
+	}
+	// A collapsed within-row speedup fails at the plain tolerance.
+	out.Reset()
+	fresh = suiteJSON(t, []RealResult{row("B", 4, true, 1.2, 1.5, 1.6)})
+	n, err = CompareRealSuites(fresh, committed, 0.25, &out)
+	if err != nil || n != 1 {
+		t.Fatalf("collapsed speedup: regressions=%d err=%v\n%s", n, err, out.String())
+	}
+
+	// Disjoint suites are an error, not a silent pass.
+	fresh = suiteJSON(t, []RealResult{row("Z", 1, true, 2.0, 0, 0)})
+	if _, err = CompareRealSuites(fresh, committed, 0.25, &out); err == nil {
+		t.Fatal("disjoint suites should error")
+	}
+
+	// A parallelism mismatch is a harness-contract error: ratios shift
+	// with core count, so the comparison would be meaningless.
+	var wide RealSuite
+	if err := json.Unmarshal(suiteJSON(t, []RealResult{row("A", 1, true, 2.0, 0, 0)}), &wide); err != nil {
+		t.Fatal(err)
+	}
+	wide.GoMaxProcs = 4
+	wideData, err := MarshalRealSuite(&wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = CompareRealSuites(wideData, committed, 0.25, &out); err == nil {
+		t.Fatal("GOMAXPROCS mismatch should error")
+	}
+}
+
+// TestValidateRejectsUnshardedBarrierRow: wavefront=false only makes
+// sense on sharded rows.
+func TestValidateRejectsUnshardedBarrierRow(t *testing.T) {
+	bad := suiteJSON(t, []RealResult{row("A", 1, false, 2.0, 0, 0)})
+	if err := ValidateRealSuite(bad); err == nil {
+		t.Fatal("unsharded stage-barrier row should fail validation")
+	}
+}

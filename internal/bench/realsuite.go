@@ -28,8 +28,14 @@ import (
 // v2 added the dtype column (f32 rows for Black-Scholes and Jacobi) and
 // the f32-vs-f64 ratio on reduced-precision rows. v3 added the shards
 // column (sharded-execution rows for the Jacobi-MRHS workload) and the
-// shards-vs-1 ratio on sharded rows.
-const RealSchema = "diffuse-bench-real/v3"
+// shards-vs-1 ratio on sharded rows. v4 added the wavefront column (the
+// sharded drain scheduler: per-(shard, stage) DAG vs the v1 stage
+// barriers), the wavefront-vs-barrier ratio on wavefront rows with a
+// barrier twin, the deep-stencil-chain workload rows that expose the
+// difference, and the tiny smoke rows in the committed full trajectory
+// (the `-compare` regression gate matches CI's fresh tiny run against
+// them).
+const RealSchema = "diffuse-bench-real/v4"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -38,9 +44,13 @@ type RealResult struct {
 	N      int    `json:"n"`      // problem parameter (rows, grid side, options)
 	Procs  int    `json:"procs"`  // launch width: point tasks per index task
 	Shards int    `json:"shards"` // sharded-execution block count (1 = off)
-	DType  string `json:"dtype"`  // element type of the app's arrays (f64/f32)
-	Fused  bool   `json:"fused"`  // Diffuse fusion enabled
-	Iters  int    `json:"iters"`  // timed iterations
+	// Wavefront reports the sharded drain scheduler: true is the
+	// per-(shard, stage) DAG default, false the v1 stage-barrier baseline
+	// (only sharded rows are ever measured with it off).
+	Wavefront bool   `json:"wavefront"`
+	DType     string `json:"dtype"` // element type of the app's arrays (f64/f32)
+	Fused     bool   `json:"fused"` // Diffuse fusion enabled
+	Iters     int    `json:"iters"` // timed iterations
 
 	ChunkedNsPerIter  float64 `json:"chunked_ns_per_iter"`
 	PerPointNsPerIter float64 `json:"perpoint_ns_per_iter"`
@@ -57,6 +67,12 @@ type RealResult struct {
 	// row's chunked ns/iter divided by this row's — the wall-clock value
 	// of shard-major scheduling on this app/size, >1 when sharding wins.
 	ShardSpeedupVs1 float64 `json:"shard_speedup_vs_1,omitempty"`
+
+	// WavefrontSpeedupVsBarrier (wavefront rows with a stage-barrier twin
+	// only) is the twin's chunked ns/iter divided by this row's — the
+	// wall-clock value of wavefront shard-stage pipelining on this
+	// app/size, >1 when the DAG drain wins.
+	WavefrontSpeedupVsBarrier float64 `json:"wavefront_speedup_vs_barrier,omitempty"`
 
 	TasksPerIter float64 `json:"tasks_per_iter"` // index tasks reaching legion
 	// FusionRatio is the fraction of submitted tasks folded into fusions
@@ -78,15 +94,16 @@ type RealSuite struct {
 // measurements are taken per executor and the minimum kept — wall-clock
 // noise on shared machines is strictly additive.
 type realCase struct {
-	app    string
-	size   string
-	n      int
-	dtype  cunum.DType
-	shards int // sharded-execution block count (0/1 = off)
-	warmup int
-	iters  int
-	reps   int
-	make   func(ctx *cunum.Context, n int, dt cunum.DType) Instance
+	app     string
+	size    string
+	n       int
+	dtype   cunum.DType
+	shards  int  // sharded-execution block count (0/1 = off)
+	barrier bool // drain with the v1 stage barriers instead of the wavefront DAG
+	warmup  int
+	iters   int
+	reps    int
+	make    func(ctx *cunum.Context, n int, dt cunum.DType) Instance
 }
 
 func mkCG(ctx *cunum.Context, n int, _ cunum.DType) Instance {
@@ -116,86 +133,142 @@ func mkJacobiMRHS(ctx *cunum.Context, n int, dt cunum.DType) Instance {
 	return Instance{Ctx: ctx, Iterate: apps.NewJacobiMRHS(ctx, n, mrhsK, dt).Iterate}
 }
 
+// Stencil-chain parameters: chainDepth dependent sweeps per iteration in
+// blocks of chainBlock unknowns. Depth is what the wavefront scheduler
+// pipelines across — the stage-barrier drain streams the full operator
+// pair once per sweep, the DAG drain walks each shard's slabs through all
+// chainDepth sweeps back to back.
+const (
+	chainBlock     = 128
+	chainDepth     = 16
+	chainBlockTiny = 64
+	chainDepthTiny = 6
+)
+
+func mkStencilChain(ctx *cunum.Context, n int, dt cunum.DType) Instance {
+	t, d := chainBlock, chainDepth
+	if n < 8192 {
+		t, d = chainBlockTiny, chainDepthTiny
+	}
+	return Instance{Ctx: ctx, Iterate: apps.NewStencilChain(ctx, n, t, d, apps.ChainUpwind, dt).Iterate}
+}
+
 // realCases returns the rows of a preset. "full" is the committed
-// trajectory (a few minutes of wall clock); "tiny" is the CI smoke variant
-// (seconds). n is the grid side for CG/SWE, total unknowns for Jacobi, and
-// options per processor for Black-Scholes.
+// trajectory (a few minutes of wall clock) plus the tiny smoke rows — the
+// committed file must contain rows the CI perf-regression gate can match
+// against a fresh tiny run (`diffuse-bench -compare`). "tiny" is the CI
+// smoke variant alone (seconds). n is the grid side for CG/SWE, total
+// unknowns for Jacobi, and options per processor for Black-Scholes.
 func realCases(preset string) []realCase {
 	switch preset {
 	case "full":
-		// "small" sits squarely in the fine-grained regime the paper's §7
-		// granularity discussion targets (runtime overhead comparable to
-		// kernel work); "large" is compute-bound on the interpreted
-		// evaluator, bounding the executor's effect from both sides.
-		// Black-Scholes and Jacobi additionally run an f32 column: Jacobi
-		// "large" is the bandwidth-bound case (the n^2 matrix sweep
-		// dominates, and at n=512 the f32 matrix fits a cache level the
-		// f64 one does not), so it is where halving the element width
-		// shows up as wall-clock.
-		return []realCase{
-			{app: "CG", size: "small", n: 16, warmup: 4, iters: 120, reps: 3, make: mkCG},
-			{app: "CG", size: "medium", n: 48, warmup: 4, iters: 60, reps: 3, make: mkCG},
-			{app: "CG", size: "large", n: 144, warmup: 3, iters: 15, reps: 2, make: mkCG},
-			{app: "Jacobi", size: "small", n: 64, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
-			{app: "Jacobi", size: "medium", n: 192, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
-			{app: "Jacobi", size: "large", n: 512, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
-			{app: "Jacobi", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
-			{app: "Jacobi", size: "medium", n: 192, dtype: cunum.F32, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
-			{app: "Jacobi", size: "large", n: 512, dtype: cunum.F32, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
-			{app: "Black-Scholes", size: "small", n: 64, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "medium", n: 1024, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "large", n: 8192, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "medium", n: 1024, dtype: cunum.F32, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "large", n: 8192, dtype: cunum.F32, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
-			{app: "SWE", size: "small", n: 16, warmup: 4, iters: 60, reps: 3, make: mkSWE},
-			{app: "SWE", size: "medium", n: 48, warmup: 3, iters: 30, reps: 3, make: mkSWE},
-			{app: "SWE", size: "large", n: 128, warmup: 3, iters: 10, reps: 2, make: mkSWE},
-			// Jacobi-MRHS: k=8 right-hand sides sharing one dense matrix —
-			// the bandwidth-bound workload of the sharded-execution rows.
-			// "large" (n=4096: a 134 MB matrix streamed 8x per iteration)
-			// exceeds the TLB/cache reach, so shard-major scheduling at
-			// 2 and 4 shards recovers locality the flat task stream
-			// cannot; "medium" fits near memory and bounds the effect
-			// from below. Results are bit-identical across shard counts.
-			{app: "Jacobi-MRHS", size: "medium", n: 2048, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
-			{app: "Jacobi-MRHS", size: "medium", n: 2048, shards: 4, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
-			{app: "Jacobi-MRHS", size: "large", n: 4096, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
-			{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 2, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
-			{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 4, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
-		}
+		return append(fullCases(), realCases("tiny")...)
 	case "tiny":
-		return []realCase{
-			{app: "CG", size: "tiny", n: 24, warmup: 1, iters: 3, reps: 1, make: mkCG},
-			{app: "Jacobi", size: "tiny", n: 64, warmup: 1, iters: 3, reps: 1, make: mkJacobi},
-			{app: "Jacobi", size: "tiny", n: 64, dtype: cunum.F32, warmup: 1, iters: 3, reps: 1, make: mkJacobi},
-			{app: "Black-Scholes", size: "tiny", n: 256, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
-			{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, warmup: 1, iters: 3, reps: 1, make: mkBlackScholes},
-			{app: "SWE", size: "tiny", n: 24, warmup: 1, iters: 3, reps: 1, make: mkSWE},
-			{app: "Jacobi-MRHS", size: "tiny", n: 256, warmup: 1, iters: 3, reps: 1, make: mkJacobiMRHS},
-			{app: "Jacobi-MRHS", size: "tiny", n: 256, shards: 4, warmup: 1, iters: 3, reps: 1, make: mkJacobiMRHS},
-		}
+		return tinyCases()
 	default:
 		return nil
 	}
 }
 
+func fullCases() []realCase {
+	// "small" sits squarely in the fine-grained regime the paper's §7
+	// granularity discussion targets (runtime overhead comparable to
+	// kernel work); "large" is compute-bound on the interpreted
+	// evaluator, bounding the executor's effect from both sides.
+	// Black-Scholes and Jacobi additionally run an f32 column: Jacobi
+	// "large" is the bandwidth-bound case (the n^2 matrix sweep
+	// dominates, and at n=512 the f32 matrix fits a cache level the
+	// f64 one does not), so it is where halving the element width
+	// shows up as wall-clock.
+	return []realCase{
+		{app: "CG", size: "small", n: 16, warmup: 4, iters: 120, reps: 3, make: mkCG},
+		{app: "CG", size: "medium", n: 48, warmup: 4, iters: 60, reps: 3, make: mkCG},
+		{app: "CG", size: "large", n: 144, warmup: 3, iters: 15, reps: 2, make: mkCG},
+		{app: "Jacobi", size: "small", n: 64, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "medium", n: 192, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "large", n: 512, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
+		{app: "Jacobi", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "medium", n: 192, dtype: cunum.F32, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "large", n: 512, dtype: cunum.F32, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
+		{app: "Black-Scholes", size: "small", n: 64, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "medium", n: 1024, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "large", n: 8192, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "medium", n: 1024, dtype: cunum.F32, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "large", n: 8192, dtype: cunum.F32, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
+		{app: "SWE", size: "small", n: 16, warmup: 4, iters: 60, reps: 3, make: mkSWE},
+		{app: "SWE", size: "medium", n: 48, warmup: 3, iters: 30, reps: 3, make: mkSWE},
+		{app: "SWE", size: "large", n: 128, warmup: 3, iters: 10, reps: 2, make: mkSWE},
+		// Jacobi-MRHS: k=8 right-hand sides sharing one dense matrix —
+		// the bandwidth-bound workload of the sharded-execution rows.
+		// "large" (n=4096: a 134 MB matrix streamed 8x per iteration)
+		// exceeds the TLB/cache reach, so shard-major scheduling at
+		// 2 and 4 shards recovers locality the flat task stream
+		// cannot; "medium" fits near memory and bounds the effect
+		// from below. Results are bit-identical across shard counts.
+		{app: "Jacobi-MRHS", size: "medium", n: 2048, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
+		{app: "Jacobi-MRHS", size: "medium", n: 2048, shards: 4, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
+		{app: "Jacobi-MRHS", size: "large", n: 4096, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
+		{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 2, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
+		{app: "Jacobi-MRHS", size: "large", n: 4096, shards: 4, warmup: 1, iters: 4, reps: 2, make: mkJacobiMRHS},
+		// Deep stencil chain: chainDepth dependent block-banded matvec
+		// sweeps per iteration (internal/apps.StencilChain, upwind).
+		// "large" streams a 128 MB operator pair per sweep — past this
+		// host's effective cache/TLB reach, so the stage-barrier drain
+		// re-streams it every sweep while the wavefront DAG keeps each
+		// shard's slabs hot across consecutive sweeps; "medium" (64 MB)
+		// sits below the wall and bounds the effect from the other
+		// side (the barrier drain's stage-major order is already
+		// near-optimal there). Each sharded size runs the barrier twin
+		// first, then the wavefront row that is measured against it.
+		{app: "Stencil-Chain", size: "medium", n: 32768, warmup: 1, iters: 4, reps: 2, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "medium", n: 32768, shards: 4, barrier: true, warmup: 1, iters: 4, reps: 2, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "medium", n: 32768, shards: 4, warmup: 1, iters: 4, reps: 2, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "large", n: 65536, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "large", n: 65536, shards: 4, barrier: true, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "large", n: 65536, shards: 4, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
+	}
+}
+
+func tinyCases() []realCase {
+	// The tiny rows feed the CI perf-regression gate, so they trade a few
+	// extra seconds for stability: min-of-3 reps over enough iterations
+	// that a single scheduler hiccup cannot move a ratio past the gate's
+	// tolerance.
+	return []realCase{
+		{app: "CG", size: "tiny", n: 24, warmup: 1, iters: 6, reps: 3, make: mkCG},
+		{app: "Jacobi", size: "tiny", n: 64, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "tiny", n: 64, dtype: cunum.F32, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
+		{app: "Black-Scholes", size: "tiny", n: 256, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
+		{app: "SWE", size: "tiny", n: 24, warmup: 1, iters: 6, reps: 3, make: mkSWE},
+		{app: "Jacobi-MRHS", size: "tiny", n: 256, warmup: 1, iters: 5, reps: 3, make: mkJacobiMRHS},
+		{app: "Jacobi-MRHS", size: "tiny", n: 256, shards: 4, warmup: 1, iters: 5, reps: 3, make: mkJacobiMRHS},
+		{app: "Stencil-Chain", size: "tiny", n: 2048, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "tiny", n: 2048, shards: 4, barrier: true, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
+		{app: "Stencil-Chain", size: "tiny", n: 2048, shards: 4, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
+	}
+}
+
 // realContext builds a ModeReal cunum context with the given fusion,
-// executor, and sharding settings.
-func realContext(procs int, fused bool, policy legion.ExecPolicy, shards int) *cunum.Context {
+// executor, sharding, and drain-scheduler settings.
+func realContext(procs int, fused bool, policy legion.ExecPolicy, shards int, barrier bool) *cunum.Context {
 	cfg := core.DefaultConfig(procs)
 	cfg.Mode = legion.ModeReal
 	cfg.Machine = machine.DefaultA100(procs)
 	cfg.Enabled = fused
 	cfg.Exec = policy
 	cfg.Shards = shards
+	if barrier {
+		cfg.Wavefront = legion.WavefrontOff
+	}
 	return cunum.NewContext(core.New(cfg))
 }
 
 // measureCase runs one configuration on a fresh context and returns
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
-	ctx := realContext(procs, fused, policy, c.shards)
+	ctx := realContext(procs, fused, policy, c.shards, c.barrier)
 	inst := c.make(ctx, c.n, c.dtype)
 	inst.Iterate(c.warmup) // window growth, JIT, memo saturation
 	ctx.Flush()
@@ -234,12 +307,14 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
 		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %6s %14s %14s %8s %8s %8s %10s %7s\n",
-		"App", "Size", "N", "DType", "Sh", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "Tasks/Iter", "Fusion")
-	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio,
-	// and of the shards=1 rows, keyed for the shards-vs-1 ratio.
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %6s %14s %14s %8s %8s %8s %8s %10s %7s\n",
+		"App", "Size", "N", "DType", "Sh", "WF", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "Tasks/Iter", "Fusion")
+	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio;
+	// of the shards=1 rows, keyed for the shards-vs-1 ratio; and of the
+	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio.
 	f64Chunked := map[string]float64{}
 	unshardedChunked := map[string]float64{}
+	barrierChunked := map[string]float64{}
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
@@ -271,8 +346,9 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 			}
 			res := RealResult{
 				App: c.app, Size: c.size, N: c.n, Procs: procs,
-				Shards: shards,
-				DType:  c.dtype.String(), Fused: fused,
+				Shards:    shards,
+				Wavefront: !c.barrier,
+				DType:     c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
 				ChunkedNsPerIter: chunkNs, PerPointNsPerIter: ppNs,
 				Speedup:      ppNs / chunkNs,
@@ -300,10 +376,19 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				res.ShardSpeedupVs1 = base / chunkNs
 				vsUnsharded = fmt.Sprintf("%6.2fx", res.ShardSpeedupVs1)
 			}
+			wfKey := fmt.Sprintf("%s/%s/%d/%s/%d/%v", c.app, c.size, c.n, c.dtype, shards, fused)
+			vsBarrier := ""
+			if c.barrier {
+				barrierChunked[wfKey] = chunkNs
+			} else if base, ok := barrierChunked[wfKey]; ok && chunkNs > 0 {
+				// The stage-barrier twin runs earlier in the case list.
+				res.WavefrontSpeedupVsBarrier = base / chunkNs
+				vsBarrier = fmt.Sprintf("%6.2fx", res.WavefrontSpeedupVsBarrier)
+			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %6v %14.0f %14.0f %7.2fx %8s %8s %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.DType, res.Shards, res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3v %6v %14.0f %14.0f %7.2fx %8s %8s %8s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Shards, boolMark(res.Wavefront), res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
 	return suite, nil
@@ -318,12 +403,21 @@ func MarshalRealSuite(s *RealSuite) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// boolMark renders a compact scheduler marker for the progress table.
+func boolMark(b bool) string {
+	if b {
+		return "wf"
+	}
+	return "--"
+}
+
 // realResultKeys are the per-row fields the schema gate requires
-// ("f32_speedup_vs_f64" and "shard_speedup_vs_1" are optional: they only
-// appear on f32 and shards>1 rows respectively).
+// ("f32_speedup_vs_f64", "shard_speedup_vs_1", and
+// "wavefront_speedup_vs_barrier" are optional: they only appear on f32,
+// shards>1, and barrier-twinned wavefront rows respectively).
 var realResultKeys = []string{
-	"app", "size", "n", "procs", "shards", "dtype", "fused", "iters",
-	"chunked_ns_per_iter", "perpoint_ns_per_iter", "speedup",
+	"app", "size", "n", "procs", "shards", "wavefront", "dtype", "fused",
+	"iters", "chunked_ns_per_iter", "perpoint_ns_per_iter", "speedup",
 	"tasks_per_iter", "fusion_ratio",
 }
 
@@ -364,6 +458,9 @@ func ValidateRealSuite(data []byte) error {
 		}
 		if r.Shards < 1 {
 			return fmt.Errorf("bench: result %d has shard count %d, want >= 1", i, r.Shards)
+		}
+		if !r.Wavefront && r.Shards <= 1 {
+			return fmt.Errorf("bench: result %d is a stage-barrier row without sharding (the scheduler only differs at shards > 1)", i)
 		}
 		if r.DType != "f64" && r.DType != "f32" {
 			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)

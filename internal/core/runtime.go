@@ -46,6 +46,17 @@ type Config struct {
 	// disables sharding; results (including reductions) are bit-identical
 	// across shard counts. See DESIGN.md "Sharded execution".
 	Shards int
+	// Wavefront selects the sharded drain scheduler: the per-(shard,
+	// stage) dependence DAG (legion.WavefrontOn, the zero value — one
+	// shard may run several stages ahead of another wherever no halo edge
+	// connects them) or the v1 global stage barriers (legion.WavefrontOff,
+	// the measured baseline of the wavefront benchmark rows). Results are
+	// bit-identical either way: only inter-stage ordering relaxes where no
+	// dependence edge exists, never the point decomposition or the
+	// point-order reduction folds. Drain semantics are unchanged — host
+	// reads, frees, incompatible tasks, and Reshard still wait for the
+	// whole buffered group, wavefront or not. Ignored unless Shards > 1.
+	Wavefront legion.WavefrontMode
 
 	// Enabled turns the fusion layer on. When false, Diffuse is a
 	// pass-through and the system behaves like standard cuPyNumeric /
@@ -131,6 +142,7 @@ func New(cfg Config) *Runtime {
 	}
 	r.leg.SetExecPolicy(cfg.Exec)
 	r.leg.SetShards(cfg.Shards)
+	r.leg.SetWavefront(cfg.Wavefront)
 	r.stats.WindowSize = cfg.InitialWindow
 	r.def = r.NewSession()
 	return r

@@ -49,6 +49,7 @@ type compiledLoop struct {
 	iter       []iterParam // slot -> parameter
 	nregs      int
 	y, x, matA int
+	acc        bool
 	seed       uint64
 	payloadKey int
 	red        RedOp
@@ -92,6 +93,7 @@ func compileLoop(k *Kernel, l *Loop) compiledLoop {
 		y:          l.Y,
 		x:          l.X,
 		matA:       l.MatA,
+		acc:        l.Acc,
 		seed:       l.Seed,
 		payloadKey: l.PayloadKey,
 		red:        l.Red,

@@ -428,7 +428,11 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 				for ; j < cols; j++ {
 					sum += row[j] * xv[j]
 				}
-				yd[y.Base+i*ystride] = sum
+				if l.acc {
+					yd[y.Base+i*ystride] += sum
+				} else {
+					yd[y.Base+i*ystride] = sum
+				}
 			}
 			return
 		}
@@ -438,7 +442,11 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 			for j := 0; j < cols; j++ {
 				sum += ad[base+j*astr1] * xd[x.Base+j*xstride]
 			}
-			yd[y.Base+i*ystride] = sum
+			if l.acc {
+				yd[y.Base+i*ystride] += sum
+			} else {
+				yd[y.Base+i*ystride] = sum
+			}
 		}
 		return
 	}
@@ -460,7 +468,11 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 				for ; j < cols; j++ {
 					sum += row[j] * xv[j]
 				}
-				yd[y.Base+i*ystride] = sum
+				if l.acc {
+					yd[y.Base+i*ystride] += sum
+				} else {
+					yd[y.Base+i*ystride] = sum
+				}
 			}
 			return
 		}
@@ -470,7 +482,11 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 			for j := 0; j < cols; j++ {
 				sum += ad[base+j*astr1] * xd[x.Base+j*xstride]
 			}
-			yd[y.Base+i*ystride] = sum
+			if l.acc {
+				yd[y.Base+i*ystride] += sum
+			} else {
+				yd[y.Base+i*ystride] = sum
+			}
 		}
 		return
 	}
@@ -479,6 +495,9 @@ func (c *Compiled) execGEMV(l *compiledLoop, pa *PointArgs) {
 		sum := 0.0
 		for j := 0; j < cols; j++ {
 			sum += a.Acc.Data.Get(base+j*astr1) * x.Data.Get(x.Base+j*xstride)
+		}
+		if l.acc {
+			sum += y.Data.Get(y.Base + i*ystride)
 		}
 		y.Data.Set(y.Base+i*ystride, sum)
 	}

@@ -227,6 +227,10 @@ type Loop struct {
 	// CSR payload (SpMV) or parameter MatA (GEMV). LoopAxisReduce folds
 	// parameter X into parameter Y.
 	Y, X, MatA int
+	// Acc makes a LoopGEMV accumulate (Y += A X) instead of overwrite —
+	// the off-diagonal terms of block-banded matvecs land directly in the
+	// destination, with Y bound ReadWrite.
+	Acc bool
 
 	// Red is the combiner for LoopAxisReduce.
 	Red RedOp
@@ -448,8 +452,8 @@ func (k *Kernel) Fingerprint() string {
 	}
 	b.WriteByte('|')
 	for _, l := range k.Loops {
-		fmt.Fprintf(&b, "k%d;d%s;e%v;r%d;y%d;x%d;m%d;red%d;s%d;p%d{",
-			l.Kind, l.Dom, l.Ext, l.ExtRef, l.Y, l.X, l.MatA, l.Red, l.Seed, l.PayloadKey)
+		fmt.Fprintf(&b, "k%d;d%s;e%v;r%d;y%d;x%d;m%d;a%t;red%d;s%d;p%d{",
+			l.Kind, l.Dom, l.Ext, l.ExtRef, l.Y, l.X, l.MatA, l.Acc, l.Red, l.Seed, l.PayloadKey)
 		for _, st := range l.Stmts {
 			fmt.Fprintf(&b, "%d:%d:%d:", st.Kind, st.Param, st.Red)
 			exprFingerprint(&b, st.E)

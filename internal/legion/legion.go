@@ -127,9 +127,12 @@ type Runtime struct {
 	freeEpoch int64
 
 	// Sharded execution state (see shard.go): the configured shard count,
-	// the buffered task group, frees deferred while the group references
-	// their stores, and the activity counters (guarded by execMu).
+	// the drain scheduler (wavefront.go), the buffered task group, frees
+	// deferred while the group references their stores, and the activity
+	// counters (guarded by execMu; ShardUnits is updated atomically by
+	// pool workers).
 	shards         int
+	wavefront      WavefrontMode
 	group          *shardGroup
 	deferredFrees  []ir.StoreID
 	deferredFreeIn map[ir.StoreID]bool

@@ -53,6 +53,7 @@ package legion
 
 import (
 	"math"
+	"sync/atomic"
 
 	"diffuse/internal/ir"
 	"diffuse/internal/kir"
@@ -82,6 +83,26 @@ type ShardStats struct {
 	// DeferredFrees is the number of store frees postponed until the
 	// group referencing them drained.
 	DeferredFrees int64
+
+	// Wavefront counters (see wavefront.go; all zero under WavefrontOff).
+
+	// WavefrontGroups is the number of groups drained through the
+	// wavefront DAG scheduler instead of the stage-barrier loop.
+	WavefrontGroups int64
+	// WavefrontNodes is the number of DAG nodes dispatched ((task, shard)
+	// units, halo-exchange nodes, and reduction barriers).
+	WavefrontNodes int64
+	// WavefrontEdges is the number of dependence edges those nodes were
+	// connected by.
+	WavefrontEdges int64
+	// HaloNodes is the number of first-class halo-exchange nodes — one
+	// per (misaligned dependence, consumer shard) with at least one
+	// cross-shard producer.
+	HaloNodes int64
+	// BarrierStages is the number of stages forced to a full barrier
+	// because a task in them carries a reduction (the fold must observe
+	// every shard's partials before any later reader runs).
+	BarrierStages int64
 }
 
 // groupEntry is one index task buffered in the shard group.
@@ -92,28 +113,43 @@ type groupEntry struct {
 	comp  *kir.Compiled
 }
 
-// partStage is one (partition, latest stage) entry of a store's in-group
-// read history.
+// partStage is one (partition, latest stage, latest entry) record of a
+// store's in-group access history.
 type partStage struct {
 	part  ir.Partition
 	stage int
+	entry int // index into shardGroup.entries of the latest such access
 }
 
 // storeAccess tracks the in-group access history of one store, for the
-// stage computation. A single slot suffices for writes: a second write
-// through a different partition is always bumped past the first, so the
-// recorded write is the latest-stage one and every conflicting access
-// bumps past it. Reads need the full per-partition history — two reads
-// through different partitions can legally share a stage, and a later
-// writer must see *both* (a masked replicated reader would otherwise let
-// the writer into its stage and corrupt the reader's view at other
-// shards).
+// stage computation and the wavefront dependence records: the full
+// per-partition history on both sides. Two reads through different
+// partitions can legally share a stage and a later writer must be
+// ordered after *both*; a reader must be ordered after *every* earlier
+// writer whose footprint it can touch, not just the latest one (a
+// partial overwrite leaves older writers' data visible). The stage
+// computation needs only the latest write — a second write through a
+// different partition is always bumped past the first — which
+// latestWrite derives from the same history, so there is exactly one
+// record of each access.
 type storeAccess struct {
-	writeStage int // latest stage writing the store, -1 if none
-	writePart  ir.Partition
-	reads      []partStage // distinct read partitions, latest stage each
-	redStage   int         // latest stage reducing to the store, -1 if none
-	redOp      ir.ReduceOp
+	writes   []partStage // distinct write partitions, latest stage/entry each
+	reads    []partStage // distinct read partitions, latest stage/entry each
+	redStage int         // latest stage reducing to the store, -1 if none
+	redOp    ir.ReduceOp
+}
+
+// latestWrite returns the most recent write record (highest stage, entry
+// order breaking ties); ok is false when the store was never written in
+// this group.
+func (acc *storeAccess) latestWrite() (partStage, bool) {
+	best, ok := partStage{stage: -1, entry: -1}, false
+	for _, w := range acc.writes {
+		if w.stage > best.stage || (w.stage == best.stage && w.entry > best.entry) {
+			best, ok = w, true
+		}
+	}
+	return best, ok
 }
 
 // readStageOf returns the latest stage the store was read at (-1 if
@@ -128,17 +164,28 @@ func (acc *storeAccess) readStageOf() int {
 	return st
 }
 
-// recordRead notes a read through part at the given stage.
-func (acc *storeAccess) recordRead(part ir.Partition, stage int) {
-	for i := range acc.reads {
-		if acc.reads[i].part.Equal(part) {
-			if stage > acc.reads[i].stage {
-				acc.reads[i].stage = stage
+// recordPS notes an access through part at the given stage by the given
+// entry in a per-partition history list, returning the updated list.
+func recordPS(list []partStage, part ir.Partition, stage, entry int) []partStage {
+	for i := range list {
+		if list[i].part.Equal(part) {
+			if stage > list[i].stage {
+				list[i].stage = stage
 			}
-			return
+			if entry > list[i].entry {
+				list[i].entry = entry
+			}
+			return list
 		}
 	}
-	acc.reads = append(acc.reads, partStage{part: part, stage: stage})
+	return append(list, partStage{part: part, stage: stage, entry: entry})
+}
+
+// barrierDep is one "waits on a reduction fold" record: every shard of
+// entry cons must run after the barrier node of the given stage.
+type barrierDep struct {
+	stage int
+	cons  int
 }
 
 // shardGroup is the buffered task group of a sharded runtime.
@@ -149,6 +196,14 @@ type shardGroup struct {
 	refs    map[ir.StoreID]int   // stores referenced by buffered tasks
 	gens    map[ir.StoreID]int64 // shard generation each store entered with
 	stages  int                  // 1 + max entry stage
+
+	// Wavefront plan metadata (consumed by wavefront.go): the misaligned
+	// dependence records between entries, the reduction-fold waits, and
+	// the entries reducing at each barrier stage (in entry order — the
+	// fold order both schedulers share).
+	deps     []ir.StageDep
+	bdeps    []barrierDep
+	barriers map[int][]int
 }
 
 // maxGroupTasks caps the group; longer streams drain in slabs.
@@ -156,10 +211,11 @@ const maxGroupTasks = 4096
 
 func newShardGroup() *shardGroup {
 	return &shardGroup{
-		kernels: map[*kir.Kernel]bool{},
-		access:  map[ir.StoreID]*storeAccess{},
-		refs:    map[ir.StoreID]int{},
-		gens:    map[ir.StoreID]int64{},
+		kernels:  map[*kir.Kernel]bool{},
+		access:   map[ir.StoreID]*storeAccess{},
+		refs:     map[ir.StoreID]int{},
+		gens:     map[ir.StoreID]int64{},
+		barriers: map[int][]int{},
 	}
 }
 
@@ -182,7 +238,7 @@ func (g *shardGroup) genConflict(t *ir.Task) bool {
 func (g *shardGroup) acc(id ir.StoreID) *storeAccess {
 	a, ok := g.access[id]
 	if !ok {
-		a = &storeAccess{writeStage: -1, redStage: -1}
+		a = &storeAccess{redStage: -1}
 		g.access[id] = a
 	}
 	return a
@@ -248,18 +304,26 @@ func (rt *Runtime) groupable(t *ir.Task) bool {
 }
 
 // enqueueShard admits a task into the shard group, computing its stage
-// from the group's dependence state. Callers hold execMu and have already
-// checked groupable.
+// from the group's dependence state and recording the dependence metadata
+// the wavefront scheduler resolves into per-shard edges at drain time.
+// Callers hold execMu and have already checked groupable.
 func (rt *Runtime) enqueueShard(t *ir.Task) {
 	g := rt.group
 	if g == nil {
 		g = newShardGroup()
 		rt.group = g
 	}
+	self := len(g.entries) // index this task will occupy
 
 	// Stage assignment: start at the earliest stage consistent with every
 	// in-group dependence, bumping past a stage boundary (and recording a
 	// halo exchange) whenever the dependence's partitions misalign.
+	// Misaligned dependences additionally append a StageDep record naming
+	// the producer entry: the wavefront DAG turns each record into edges
+	// between exactly the (producer shard, consumer shard) pairs whose
+	// flat spans overlap. Point-wise (equal-partition) dependences need no
+	// record — shard blocks of equal partitions touch disjoint data, and
+	// the consumer's own-shard chain already orders it after the producer.
 	stage := 0
 	bump := func(s int) {
 		if s+1 > stage {
@@ -271,42 +335,81 @@ func (rt *Runtime) enqueueShard(t *ir.Task) {
 			stage = s
 		}
 	}
+	depStart := len(g.deps) // this task's records begin here (for dedup)
+	// Stages of same-op reductions this task joins; resolved after the
+	// final stage is known (a later argument may bump it higher).
+	var joinedReds []int
+	dep := func(prod int, id ir.StoreID, kind ir.DepKind) {
+		// One record per (producer, store, kind) suffices: edge
+		// resolution intersects store-level union spans, so a second
+		// record from another argument on the same store adds nothing
+		// but duplicate DAG nodes and edges.
+		for _, d := range g.deps[depStart:] {
+			if d.Prod == prod && d.Store == id && d.Kind == kind {
+				return
+			}
+		}
+		g.deps = append(g.deps, ir.StageDep{Prod: prod, Cons: self, Store: id, Kind: kind})
+	}
 	for _, a := range t.Args {
-		acc, seen := g.access[a.Store.ID()]
+		id := a.Store.ID()
+		acc, seen := g.access[id]
 		if !seen {
 			continue
 		}
+		lw, written := acc.latestWrite()
 		// Reductions pending on the store complete at the end of their
-		// stage; any later access waits for the fold.
+		// stage; any later access waits for the fold (a barrier node in
+		// the wavefront DAG).
 		if acc.redStage >= 0 && !(a.Priv.Reduces() && acc.redOp == a.Red) {
 			bump(acc.redStage)
+			g.bdeps = append(g.bdeps, barrierDep{stage: acc.redStage, cons: self})
 		}
 		if a.Priv.Reduces() {
-			if acc.writeStage >= 0 {
-				bump(acc.writeStage)
+			// The reduce's units only touch private partial cells; the
+			// conflict is between the *fold* and earlier accesses, and the
+			// fold's barrier node already waits on every shard of this
+			// entry — whose own-shard chains order it after every earlier
+			// entry on every shard. No span records needed.
+			if written {
+				bump(lw.stage)
 			}
 			if rs := acc.readStageOf(); rs >= 0 {
 				bump(rs)
 			}
 			if acc.redStage >= 0 && acc.redOp == a.Red {
 				join(acc.redStage)
+				joinedReds = append(joinedReds, acc.redStage)
 			}
 			continue
 		}
-		if a.Priv.Reads() && acc.writeStage >= 0 {
-			if acc.writePart.Equal(a.Part) {
-				join(acc.writeStage)
+		if a.Priv.Reads() && written {
+			if lw.part.Equal(a.Part) {
+				join(lw.stage)
 			} else {
-				bump(acc.writeStage)
-				rt.recordHalo(t, a, acc)
+				bump(lw.stage)
+				rt.recordHalo(t, a, lw.part)
+			}
+			// Order after every earlier writer this read can observe, not
+			// just the latest: a partial overwrite leaves older writers'
+			// rows visible through this read's footprint.
+			for _, w := range acc.writes {
+				if !w.part.Equal(a.Part) {
+					dep(w.entry, id, ir.DepHalo)
+				}
 			}
 		}
 		if a.Priv.Writes() {
-			if acc.writeStage >= 0 {
-				if acc.writePart.Equal(a.Part) {
-					join(acc.writeStage)
+			if written {
+				if lw.part.Equal(a.Part) {
+					join(lw.stage)
 				} else {
-					bump(acc.writeStage)
+					bump(lw.stage)
+				}
+			}
+			for _, w := range acc.writes {
+				if !w.part.Equal(a.Part) {
+					dep(w.entry, id, ir.DepAnti)
 				}
 			}
 			// Anti-dependences against *every* distinct read partition:
@@ -317,12 +420,26 @@ func (rt *Runtime) enqueueShard(t *ir.Task) {
 					join(r.stage)
 				} else {
 					bump(r.stage)
+					dep(r.entry, id, ir.DepAnti)
 				}
 			}
 		}
 	}
 
+	// A same-op reduction normally joins the pending reduction's stage
+	// and shares its fold barrier. If another argument bumped this task
+	// to a *later* stage, the two folds get separate barrier nodes, and
+	// both read-modify-write the same destination cell — so the later
+	// task must wait on the earlier fold explicitly (its own units only
+	// chain after the earlier *units*, not the earlier barrier).
+	for _, rs := range joinedReds {
+		if stage > rs {
+			g.bdeps = append(g.bdeps, barrierDep{stage: rs, cons: self})
+		}
+	}
+
 	// Record the task's own effects at its stage.
+	reducedHere := false
 	for _, a := range t.Args {
 		acc := g.acc(a.Store.ID())
 		g.refs[a.Store.ID()]++
@@ -333,13 +450,18 @@ func (rt *Runtime) enqueueShard(t *ir.Task) {
 		case a.Priv.Reduces():
 			acc.redStage = stage
 			acc.redOp = a.Red
+			if !reducedHere {
+				// The stage becomes a barrier: its reduction folds must
+				// complete before any later dependent entry starts.
+				g.barriers[stage] = append(g.barriers[stage], self)
+				reducedHere = true
+			}
 		default:
 			if a.Priv.Reads() {
-				acc.recordRead(a.Part, stage)
+				acc.reads = recordPS(acc.reads, a.Part, stage, self)
 			}
-			if a.Priv.Writes() && stage >= acc.writeStage {
-				acc.writeStage = stage
-				acc.writePart = a.Part
+			if a.Priv.Writes() {
+				acc.writes = recordPS(acc.writes, a.Part, stage, self)
 			}
 		}
 	}
@@ -356,8 +478,8 @@ func (rt *Runtime) enqueueShard(t *ir.Task) {
 // recordHalo accounts one misaligned read dependence: the halo-exchange
 // step its stage boundary implies, and an estimate of the rows a
 // distributed runtime would move there (reader footprint at an interior
-// shard boundary minus the writer's, per boundary).
-func (rt *Runtime) recordHalo(t *ir.Task, a ir.Arg, acc *storeAccess) {
+// shard boundary minus the latest writer's, per boundary).
+func (rt *Runtime) recordHalo(t *ir.Task, a ir.Arg, writePart ir.Partition) {
 	rt.shardStats.HaloExchanges++
 	parent := a.Store.Bounds()
 	c := interiorColor(a.Part.ColorSpace())
@@ -367,8 +489,8 @@ func (rt *Runtime) recordHalo(t *ir.Task, a ir.Arg, acc *storeAccess) {
 	// when the color spaces are comparable (a reader and writer launched
 	// over different domains share no color to compare at — charge the
 	// full read footprint, as a full repartition would).
-	if ws := acc.writePart.ColorSpace(); ws.Rank() == len(c) && ws.Contains(c) {
-		if ov := readR.Intersect(acc.writePart.SubRect(c, parent)).Size(); ov > 0 {
+	if ws := writePart.ColorSpace(); ws.Rank() == len(c) && ws.Contains(c) {
+		if ov := readR.Intersect(writePart.SubRect(c, parent)).Size(); ov > 0 {
 			missing -= ov
 		}
 	}
@@ -407,9 +529,10 @@ func shardColorRange(launch ir.Rect, ncolors, s, shards int) (lo, hi int) {
 	return blo * rowW, bhi * rowW
 }
 
-// drainShardGroupLocked executes the buffered group stage by stage, each
-// stage shard-major on the work-stealing executor, then processes frees
-// deferred while the group pinned their stores. Callers hold execMu.
+// drainShardGroupLocked executes the buffered group — through the
+// wavefront DAG by default, or stage by stage with global barriers under
+// WavefrontOff — then processes frees deferred while the group pinned
+// their stores. Callers hold execMu.
 func (rt *Runtime) drainShardGroupLocked() {
 	g := rt.group
 	if g == nil {
@@ -421,21 +544,26 @@ func (rt *Runtime) drainShardGroupLocked() {
 		rt.shardStats.GroupedTasks += int64(len(g.entries))
 
 		// Resolve every task's plan and compiled kernel up front (regions
-		// may allocate; single-threaded here), then run the stages.
+		// may allocate; single-threaded here), then run the DAG or the
+		// stages.
 		for i := range g.entries {
 			e := &g.entries[i]
 			e.comp = rt.Compiled(e.task.Kernel)
 			e.plan = rt.planFor(e.task, e.comp)
 			e.plan.resetPartials(e.task, len(e.plan.colors))
 		}
-		for stage := 0; stage < g.stages; stage++ {
-			var units []*groupEntry
-			for i := range g.entries {
-				if g.entries[i].stage == stage {
-					units = append(units, &g.entries[i])
+		if rt.wavefront == WavefrontOn {
+			rt.runWavefront(g)
+		} else {
+			for stage := 0; stage < g.stages; stage++ {
+				var units []*groupEntry
+				for i := range g.entries {
+					if g.entries[i].stage == stage {
+						units = append(units, &g.entries[i])
+					}
 				}
+				rt.runShardStage(units)
 			}
-			rt.runShardStage(units)
 		}
 	}
 
@@ -481,7 +609,9 @@ func (rt *Runtime) runUnitShard(u *groupEntry, ws *workerState, s, shards int) {
 	if lo >= hi {
 		return
 	}
-	rt.shardStats.ShardUnits++
+	// Units run on pool workers (both drain schedulers), so the counter
+	// must not race with other units or with snapshot readers.
+	atomic.AddInt64(&rt.shardStats.ShardUnits, 1)
 	payload, _ := u.task.Payload.(*Payload)
 	ws.prepare(len(plan.args), payload)
 	defer ws.release()
@@ -515,6 +645,47 @@ type shardInst struct {
 	lo  int
 }
 
+// tiledShardSpan computes the tight flat-offset span a tiled argument's
+// point tasks access over colors [lo, hi) — the single footprint
+// computation shared by the shard-local instances executed against
+// (shardInstances) and the wavefront DAG's edge elision (argShardSpan in
+// wavefront.go). The two uses are correctness-coupled: an edge is elided
+// exactly when spans prove disjointness, so the elision must see the same
+// arithmetic the execution uses.
+func tiledShardSpan(plan *taskPlan, ap *argPlan, lo, hi int) ir.Span {
+	minBase, maxLast := math.MaxInt, -1
+	for pi := lo; pi < hi; pi++ {
+		c := ap.tp.Proj.Apply(plan.colors[pi])
+		base, last, empty := ap.offBase, 0, false
+		for d := range ap.tileCoef {
+			cd := c[d]
+			base += cd * ap.tileCoef[d]
+			e := ap.tp.View[d] - cd*ap.tp.Tile[d]
+			if e > ap.tp.Tile[d] {
+				e = ap.tp.Tile[d]
+			}
+			if e <= 0 {
+				empty = true
+				break
+			}
+			last += (e - 1) * ap.accStr[d]
+		}
+		if empty {
+			continue
+		}
+		if base < minBase {
+			minBase = base
+		}
+		if base+last > maxLast {
+			maxLast = base + last
+		}
+	}
+	if maxLast < 0 || minBase > maxLast {
+		return ir.Span{} // no elements accessed by this shard
+	}
+	return ir.Span{Lo: minBase, Hi: maxLast + 1}
+}
+
 // shardInstances computes the per-argument instances of one (task, shard)
 // unit from the plan's binding coefficients: the tight flat-offset span
 // the shard's point tasks access. Reduction cells, temporary-eliminated
@@ -526,37 +697,11 @@ func shardInstances(plan *taskPlan, lo, hi int) []shardInst {
 		if ap.priv.Reduces() || ap.local || ap.isNone || ap.tp == nil {
 			continue
 		}
-		minBase, maxLast := math.MaxInt, -1
-		for pi := lo; pi < hi; pi++ {
-			c := ap.tp.Proj.Apply(plan.colors[pi])
-			base, last, empty := ap.offBase, 0, false
-			for d := range ap.tileCoef {
-				cd := c[d]
-				base += cd * ap.tileCoef[d]
-				e := ap.tp.View[d] - cd*ap.tp.Tile[d]
-				if e > ap.tp.Tile[d] {
-					e = ap.tp.Tile[d]
-				}
-				if e <= 0 {
-					empty = true
-					break
-				}
-				last += (e - 1) * ap.accStr[d]
-			}
-			if empty {
-				continue
-			}
-			if base < minBase {
-				minBase = base
-			}
-			if base+last > maxLast {
-				maxLast = base + last
-			}
+		sp := tiledShardSpan(plan, ap, lo, hi)
+		if sp.Empty() {
+			continue
 		}
-		if maxLast < 0 || minBase > maxLast {
-			continue // no elements accessed by this shard
-		}
-		insts[i] = shardInst{buf: ap.data.Slice(minBase, maxLast+1), lo: minBase}
+		insts[i] = shardInst{buf: ap.data.Slice(sp.Lo, sp.Hi), lo: sp.Lo}
 	}
 	return insts
 }
