@@ -1,0 +1,30 @@
+package cunum_test
+
+import (
+	"testing"
+
+	"diffuse/internal/legion"
+)
+
+// Repro: e_sum1 (reduce into S1, stage 0) ; reader of S1 (bumped to stage
+// 1, bdep on barrier@0) ; e_sum2 (independent reduce into S2, joins stage
+// 0, appended to the same barrier node). Chain edge reader->sum2 plus
+// barrier edges sum2->bn(0)->reader form a cycle.
+func TestWavefrontTwoReductionsCycleRepro(t *testing.T) {
+	run := func(wf legion.WavefrontMode) float64 {
+		ctx := wavefrontCtx(2, false, wf)
+		a := ctx.Random(1, 512).Keep()
+		b := ctx.Random(2, 512).Keep()
+		s1 := a.Sum().Keep()
+		y := a.Mul(s1).Keep()
+		s2 := b.Sum().Keep()
+		ctx.Flush()
+		v := y.ToHost()[0] + s2.ToHost()[0]
+		return v
+	}
+	ref := run(legion.WavefrontOff)
+	got := run(legion.WavefrontOn)
+	if got != ref {
+		t.Fatalf("wavefront %v, want %v", got, ref)
+	}
+}
