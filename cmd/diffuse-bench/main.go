@@ -36,11 +36,15 @@ import (
 
 	"diffuse/internal/bench"
 	"diffuse/internal/core"
+	"diffuse/internal/dist"
 	"diffuse/internal/legion"
 	"diffuse/internal/machine"
 )
 
 func main() {
+	// Distributed rank processes re-execute this binary; divert them into
+	// the rank control loop before anything else (including flag parsing).
+	dist.MaybeRankMain()
 	var (
 		figFlag   = flag.String("fig", "", "figure/table id: 9, 10a, 10b, 11a, 11b, 12a, 12b, 12c, 13")
 		allFlag   = flag.Bool("all", false, "run everything")
@@ -55,8 +59,17 @@ func main() {
 		checkReal  = flag.String("checkreal", "", "validate a BENCH_real.json against the schema and exit")
 		compare    = flag.String("compare", "", "fresh suite JSON to compare against the committed trajectory (positional arg, default BENCH_real.json); exit nonzero on regression")
 		compareTol = flag.Float64("comparetol", bench.DefaultCompareTolerance, "allowed fractional regression of ratio metrics before -compare fails")
+		ranksFlag  = flag.Int("ranks", 0, "run the multi-process distributed quick bench at this rank count (times ranks=N vs in-process shards=N and verifies bit-identity)")
 	)
 	flag.Parse()
+
+	if *ranksFlag > 0 {
+		if err := bench.RunDistBench(*ranksFlag, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare != "" {
 		committedPath := flag.Arg(0)

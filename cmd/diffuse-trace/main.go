@@ -5,6 +5,7 @@
 //	diffuse-trace -app stencil -iters 2
 //	diffuse-trace -app cg -unfused
 //	diffuse-trace -app swe -gpus 1        # single-point relaxed fusion
+//	diffuse-trace -app stencil -shards 4 -stats   # sharded-drain counters
 package main
 
 import (
@@ -24,11 +25,14 @@ func main() {
 		iters   = flag.Int("iters", 1, "iterations to trace (after warmup)")
 		gpus    = flag.Int("gpus", 4, "processors")
 		unfused = flag.Bool("unfused", false, "disable fusion")
+		shards  = flag.Int("shards", 0, "sharded execution: leading-axis blocks per store (0/1 disables)")
+		stats   = flag.Bool("stats", false, "print sharded-drain counters (wavefront nodes/edges, halo traffic) after the traced run")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*gpus)
 	cfg.Enabled = !*unfused
+	cfg.Shards = *shards
 	rt := core.New(cfg)
 	ctx := cunum.NewContext(rt)
 
@@ -63,6 +67,19 @@ func main() {
 	fmt.Printf("\n%d tasks executed (%d fusions covering %d original tasks)\n", total, fused, originals)
 	fmt.Printf("window size %d, %d temporaries eliminated, memo %d/%d hits\n",
 		st.WindowSize, st.TempsEliminated, st.MemoHits, st.MemoHits+st.MemoMisses)
+
+	if *stats {
+		ctx.Flush()
+		rt.Legion().DrainShardGroup() // make sure buffered groups are counted
+		ss := rt.Legion().ShardStatsSnapshot()
+		fmt.Printf("\nsharded-drain stats (shards=%d):\n", *shards)
+		fmt.Printf("  groups=%d groupedTasks=%d stages=%d fallbacks=%d deferredFrees=%d\n",
+			ss.Groups, ss.GroupedTasks, ss.Stages, ss.Fallbacks, ss.DeferredFrees)
+		fmt.Printf("  wavefrontGroups=%d wavefrontNodes=%d wavefrontEdges=%d barrierStages=%d\n",
+			ss.WavefrontGroups, ss.WavefrontNodes, ss.WavefrontEdges, ss.BarrierStages)
+		fmt.Printf("  haloNodes=%d haloExchanges=%d haloElemsMoved=%d shardUnits=%d\n",
+			ss.HaloNodes, ss.HaloExchanges, ss.HaloElemsMoved, ss.ShardUnits)
+	}
 }
 
 func buildApp(ctx *cunum.Context, name string) func(int) {

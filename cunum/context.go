@@ -35,6 +35,25 @@ func NewContext(rt *core.Runtime) *Context {
 	return newContext(rt, rt.DefaultSession())
 }
 
+// NewDistributedContext creates a Diffuse runtime distributed over the
+// given number of rank processes (core.Config.Ranks; the current binary
+// is re-executed once per rank, so main() must call dist.MaybeRankMain —
+// or the diffuse.MaybeRankMain facade — before anything else) and wraps
+// its default session. Arrays live replicated on the ranks; reads (ToHost,
+// Get, Scalar, futures) gather from rank 0 after a collective drain, and
+// results are bit-identical to an in-process context with Shards equal to
+// the rank count. Call Close when done to shut the ranks down.
+func NewDistributedContext(ranks int) *Context {
+	cfg := core.DefaultConfig(ranks)
+	cfg.Ranks = ranks
+	return NewContext(core.New(cfg))
+}
+
+// Close shuts down the rank processes of a distributed runtime and
+// reports the first failure any rank hit; it is a no-op (returning nil)
+// for an in-process runtime.
+func (c *Context) Close() error { return c.rt.Close() }
+
 // NewSessionContext wraps one session of a shared runtime. Independent
 // goroutines each create a session (core.Runtime.NewSession) and a context
 // over it; every context then has its own ordered task stream and fusion

@@ -28,6 +28,7 @@ package diffuse
 
 import (
 	"diffuse/internal/core"
+	"diffuse/internal/dist"
 	"diffuse/internal/legion"
 	"diffuse/internal/machine"
 )
@@ -108,6 +109,25 @@ func New(cfg Config) *Runtime { return core.New(cfg) }
 // DefaultConfig returns a fused, real-execution configuration decomposing
 // work across procs processors.
 func DefaultConfig(procs int) Config { return core.DefaultConfig(procs) }
+
+// DistributedConfig returns a real-execution configuration that runs as
+// ranks cooperating rank processes (Config.Ranks): the runtime becomes
+// the parent of a process-per-shard distributed runtime whose rank r owns
+// shard r. Results are bit-identical to the in-process Shards=ranks
+// configuration. Binaries using it must call MaybeRankMain first thing in
+// main() and Runtime.Close when done.
+func DistributedConfig(ranks int) Config {
+	cfg := core.DefaultConfig(ranks)
+	cfg.Ranks = ranks
+	return cfg
+}
+
+// MaybeRankMain re-enters this process as a rank of a distributed runtime
+// when it was launched as one (never returning in that case), and is a
+// no-op otherwise. Every binary that creates a Runtime with Config.Ranks
+// > 1 must call it before anything else in main() — the parent launches
+// rank subprocesses by re-executing its own binary.
+func MaybeRankMain() { dist.MaybeRankMain() }
 
 // SimConfig returns a simulated-execution configuration on a modeled
 // A100 cluster with the given number of GPUs.

@@ -1,0 +1,136 @@
+package bench
+
+// The quick distributed benchmark behind `diffuse-bench -ranks N`: the two
+// sharded-execution workloads (Jacobi-MRHS and the stencil chain) run once
+// in-process at Shards=N and once as an N-rank process-per-shard runtime
+// (core.Config.Ranks; internal/dist), their per-iteration wall-clock times
+// are printed side by side, and every observable — full solution vectors
+// and FP reductions — is checked bit-for-bit between the two. The bit
+// check is the point: the distributed runtime's contract is that control
+// replication plus halo exchange reproduces the in-process sharded drain
+// exactly, and this command is the fastest way to watch it hold.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"diffuse/cunum"
+	"diffuse/internal/apps"
+	"diffuse/internal/core"
+)
+
+// distCase is one workload of the distributed quick bench.
+type distCase struct {
+	name   string
+	warmup int
+	iters  int
+	// make builds the workload and returns its iterate function plus an
+	// observe function capturing every observable as float64 bit patterns.
+	make func(ctx *cunum.Context) (iterate func(int), observe func() []uint64)
+}
+
+func distCases() []distCase {
+	return []distCase{
+		{
+			name: "Jacobi-MRHS", warmup: 1, iters: 3,
+			make: func(ctx *cunum.Context) (func(int), func() []uint64) {
+				m := apps.NewJacobiMRHS(ctx, 256, 8, cunum.F64)
+				observe := func() []uint64 {
+					var obs []uint64
+					obs = append(obs, math.Float64bits(m.Residual()))
+					for _, x := range m.X {
+						for _, v := range x.ToHost() {
+							obs = append(obs, math.Float64bits(v))
+						}
+					}
+					return obs
+				}
+				return m.Iterate, observe
+			},
+		},
+		{
+			name: "Stencil-Chain", warmup: 1, iters: 3,
+			make: func(ctx *cunum.Context) (func(int), func() []uint64) {
+				sc := apps.NewStencilChain(ctx, 2048, 64, 6, apps.ChainUpwind, cunum.F64)
+				observe := func() []uint64 {
+					obs := []uint64{math.Float64bits(sc.Sum())}
+					for _, v := range sc.Live() {
+						obs = append(obs, math.Float64bits(v))
+					}
+					return obs
+				}
+				return sc.Iterate, observe
+			},
+		},
+	}
+}
+
+// runDistCase builds c in a fresh context (distributed when ranks > 0, else
+// in-process sharded at shards), times the iterations, captures the
+// observables, and shuts the context down.
+func runDistCase(c distCase, ranks, shards int) (nsPerIter float64, obs []uint64, err error) {
+	var ctx *cunum.Context
+	if ranks > 0 {
+		ctx = cunum.NewDistributedContext(ranks)
+	} else {
+		cfg := core.DefaultConfig(shards)
+		cfg.Shards = shards
+		ctx = cunum.NewContext(core.New(cfg))
+	}
+	defer func() {
+		if cerr := ctx.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	iterate, observe := c.make(ctx)
+	iterate(c.warmup)
+	ctx.Flush()
+	ctx.Runtime().Legion().DrainShardGroup()
+	start := time.Now()
+	iterate(c.iters)
+	ctx.Runtime().Legion().DrainShardGroup()
+	nsPerIter = float64(time.Since(start).Nanoseconds()) / float64(c.iters)
+	obs = observe()
+	return nsPerIter, obs, nil
+}
+
+// RunDistBench runs the distributed quick bench at the given rank count.
+// It returns an error when any rank fails or any observable differs from
+// the in-process oracle.
+func RunDistBench(ranks int, w io.Writer) error {
+	if ranks < 1 {
+		return fmt.Errorf("bench: -ranks wants a positive rank count, got %d", ranks)
+	}
+	fmt.Fprintf(w, "distributed quick bench: %d rank process(es) vs in-process shards=%d\n\n", ranks, ranks)
+	fmt.Fprintf(w, "%-14s %14s %14s %8s  %s\n", "workload", "inproc ns/iter", "ranks ns/iter", "ratio", "bit-identical")
+	identical := true
+	for _, c := range distCases() {
+		inprocNs, inprocObs, err := runDistCase(c, 0, ranks)
+		if err != nil {
+			return fmt.Errorf("bench: %s in-process: %w", c.name, err)
+		}
+		distNs, distObs, err := runDistCase(c, ranks, 0)
+		if err != nil {
+			return fmt.Errorf("bench: %s at ranks=%d: %w", c.name, ranks, err)
+		}
+		same := len(inprocObs) == len(distObs)
+		if same {
+			for i := range inprocObs {
+				if inprocObs[i] != distObs[i] {
+					same = false
+					break
+				}
+			}
+		}
+		identical = identical && same
+		fmt.Fprintf(w, "%-14s %14.0f %14.0f %7.2fx  %v\n",
+			c.name, inprocNs, distNs, inprocNs/distNs, same)
+	}
+	if !identical {
+		return fmt.Errorf("bench: distributed results differ from the in-process shards=%d oracle", ranks)
+	}
+	fmt.Fprintf(w, "\nall observables bit-identical to in-process shards=%d\n", ranks)
+	return nil
+}

@@ -34,8 +34,10 @@ import (
 // barrier twin, the deep-stencil-chain workload rows that expose the
 // difference, and the tiny smoke rows in the committed full trajectory
 // (the `-compare` regression gate matches CI's fresh tiny run against
-// them).
-const RealSchema = "diffuse-bench-real/v4"
+// them). v5 added the ranks column (multi-process distributed rows: the
+// workload runs as Ranks rank subprocesses over the local transport, 0 =
+// in-process) and the rank-speedup-vs-1 ratio on distributed rows.
+const RealSchema = "diffuse-bench-real/v5"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -44,6 +46,10 @@ type RealResult struct {
 	N      int    `json:"n"`      // problem parameter (rows, grid side, options)
 	Procs  int    `json:"procs"`  // launch width: point tasks per index task
 	Shards int    `json:"shards"` // sharded-execution block count (1 = off)
+	// Ranks reports multi-process distributed execution: the row ran as
+	// this many rank subprocesses (core.Config.Ranks, which forces Shards
+	// equal). 0 = in-process.
+	Ranks int `json:"ranks"`
 	// Wavefront reports the sharded drain scheduler: true is the
 	// per-(shard, stage) DAG default, false the v1 stage-barrier baseline
 	// (only sharded rows are ever measured with it off).
@@ -67,6 +73,15 @@ type RealResult struct {
 	// row's chunked ns/iter divided by this row's — the wall-clock value
 	// of shard-major scheduling on this app/size, >1 when sharding wins.
 	ShardSpeedupVs1 float64 `json:"shard_speedup_vs_1,omitempty"`
+
+	// RankSpeedupVs1 (ranks > 0 rows only) is the matching in-process
+	// unsharded row's chunked ns/iter divided by this row's — what the
+	// whole distributed stack (rank processes, control replication, halo
+	// transport) costs or wins against single-process execution. Expected
+	// < 1 on the local transport at smoke sizes: the value distributed
+	// execution buys is memory capacity and real-network scale, and this
+	// ratio makes its overhead a measured, gated quantity.
+	RankSpeedupVs1 float64 `json:"rank_speedup_vs_1,omitempty"`
 
 	// WavefrontSpeedupVsBarrier (wavefront rows with a stage-barrier twin
 	// only) is the twin's chunked ns/iter divided by this row's — the
@@ -99,6 +114,7 @@ type realCase struct {
 	n       int
 	dtype   cunum.DType
 	shards  int  // sharded-execution block count (0/1 = off)
+	ranks   int  // rank subprocess count (0 = in-process; forces shards = ranks)
 	barrier bool // drain with the v1 stage barriers instead of the wavefront DAG
 	warmup  int
 	iters   int
@@ -227,6 +243,15 @@ func fullCases() []realCase {
 		{app: "Stencil-Chain", size: "large", n: 65536, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
 		{app: "Stencil-Chain", size: "large", n: 65536, shards: 4, barrier: true, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
 		{app: "Stencil-Chain", size: "large", n: 65536, shards: 4, warmup: 1, iters: 3, reps: 2, make: mkStencilChain},
+		// Multi-process distributed rows: the same workloads as 2 rank
+		// subprocesses over the local transport (core.Config.Ranks). Their
+		// rank-speedup-vs-1 ratio prices the whole distributed stack —
+		// process launch amortized away by warmup, control replication,
+		// and halo/write-back traffic — against the in-process unsharded
+		// row measured in the same run. Results are bit-identical to
+		// Shards=2 (the internal/dist tests hold that line).
+		{app: "Jacobi-MRHS", size: "medium", n: 2048, ranks: 2, warmup: 1, iters: 6, reps: 2, make: mkJacobiMRHS},
+		{app: "Stencil-Chain", size: "medium", n: 32768, ranks: 2, warmup: 1, iters: 4, reps: 2, make: mkStencilChain},
 	}
 }
 
@@ -247,18 +272,24 @@ func tinyCases() []realCase {
 		{app: "Stencil-Chain", size: "tiny", n: 2048, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
 		{app: "Stencil-Chain", size: "tiny", n: 2048, shards: 4, barrier: true, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
 		{app: "Stencil-Chain", size: "tiny", n: 2048, shards: 4, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
+		// Distributed smoke rows: 2 rank subprocesses. The gate watches
+		// their rank-speedup-vs-1 ratio so a collapse in the control or
+		// halo path (not just outright breakage) fails CI.
+		{app: "Jacobi-MRHS", size: "tiny", n: 256, ranks: 2, warmup: 1, iters: 5, reps: 3, make: mkJacobiMRHS},
+		{app: "Stencil-Chain", size: "tiny", n: 2048, ranks: 2, warmup: 1, iters: 4, reps: 3, make: mkStencilChain},
 	}
 }
 
 // realContext builds a ModeReal cunum context with the given fusion,
 // executor, sharding, and drain-scheduler settings.
-func realContext(procs int, fused bool, policy legion.ExecPolicy, shards int, barrier bool) *cunum.Context {
+func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks int, barrier bool) *cunum.Context {
 	cfg := core.DefaultConfig(procs)
 	cfg.Mode = legion.ModeReal
 	cfg.Machine = machine.DefaultA100(procs)
 	cfg.Enabled = fused
 	cfg.Exec = policy
 	cfg.Shards = shards
+	cfg.Ranks = ranks
 	if barrier {
 		cfg.Wavefront = legion.WavefrontOff
 	}
@@ -268,7 +299,14 @@ func realContext(procs int, fused bool, policy legion.ExecPolicy, shards int, ba
 // measureCase runs one configuration on a fresh context and returns
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
-	ctx := realContext(procs, fused, policy, c.shards, c.barrier)
+	ctx := realContext(procs, fused, policy, c.shards, c.ranks, c.barrier)
+	defer func() {
+		// Distributed rows launch rank subprocesses; a failed shutdown is a
+		// failed measurement, not a skippable cleanup.
+		if err := ctx.Close(); err != nil {
+			panic(fmt.Sprintf("bench: closing %s/%s at ranks=%d: %v", c.app, c.size, c.ranks, err))
+		}
+	}()
 	inst := c.make(ctx, c.n, c.dtype)
 	inst.Iterate(c.warmup) // window growth, JIT, memo saturation
 	ctx.Flush()
@@ -307,8 +345,8 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
 		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %6s %14s %14s %8s %8s %8s %8s %10s %7s\n",
-		"App", "Size", "N", "DType", "Sh", "WF", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "Tasks/Iter", "Fusion")
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %3s %6s %14s %14s %8s %8s %8s %8s %8s %10s %7s\n",
+		"App", "Size", "N", "DType", "Sh", "Rk", "WF", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "vs 1rk", "Tasks/Iter", "Fusion")
 	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio;
 	// of the shards=1 rows, keyed for the shards-vs-1 ratio; and of the
 	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio.
@@ -318,13 +356,16 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
-			// The per-point column is always the *unsharded* v1 baseline:
-			// under sharding both policies would route through the shard
-			// scheduler, so measuring ExecPerPoint at shards>1 would just
-			// re-measure the chunked path. On sharded rows "speedup" is
-			// therefore the whole sharded stack against the v1 executor.
+			// The per-point column is always the *unsharded, in-process*
+			// v1 baseline: under sharding both policies would route
+			// through the shard scheduler, so measuring ExecPerPoint at
+			// shards>1 would just re-measure the chunked path (and a
+			// distributed per-point run would re-measure the rank drain).
+			// On sharded and distributed rows "speedup" is therefore the
+			// whole stack against the v1 executor.
 			cPP := c
 			cPP.shards = 0
+			cPP.ranks = 0
 			for rep := 0; rep < c.reps; rep++ {
 				// Alternate executors within each rep so drift on shared
 				// machines hits both sides; keep the per-executor minimum.
@@ -341,12 +382,16 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				tasks, ratio = tpi, fr
 			}
 			shards := c.shards
+			if c.ranks > 1 {
+				shards = c.ranks // core forces Shards = Ranks
+			}
 			if shards < 1 {
 				shards = 1
 			}
 			res := RealResult{
 				App: c.app, Size: c.size, N: c.n, Procs: procs,
 				Shards:    shards,
+				Ranks:     c.ranks,
 				Wavefront: !c.barrier,
 				DType:     c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
@@ -354,7 +399,9 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				Speedup:      ppNs / chunkNs,
 				TasksPerIter: tasks, FusionRatio: ratio,
 			}
-			pairKey := fmt.Sprintf("%s/%s/%d/%v", c.app, c.size, shards, fused)
+			// Ratio-twin keys carry the rank count so distributed rows
+			// never pose as the in-process twin of a later row.
+			pairKey := fmt.Sprintf("%s/%s/%d/%d/%v", c.app, c.size, shards, c.ranks, fused)
 			vsF64 := ""
 			switch c.dtype {
 			case cunum.F64:
@@ -368,15 +415,26 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				}
 			}
 			shardKey := fmt.Sprintf("%s/%s/%s/%v", c.app, c.size, c.dtype, fused)
-			vsUnsharded := ""
-			if shards == 1 {
+			vsUnsharded, vsRank1 := "", ""
+			switch {
+			case c.ranks > 1:
+				// The in-process unsharded row *is* the ranks=1
+				// configuration (Ranks <= 1 launches no processes), so it
+				// doubles as the distributed rows' baseline.
+				if base, ok := unshardedChunked[shardKey]; ok && chunkNs > 0 {
+					res.RankSpeedupVs1 = base / chunkNs
+					vsRank1 = fmt.Sprintf("%6.2fx", res.RankSpeedupVs1)
+				}
+			case shards == 1:
 				unshardedChunked[shardKey] = chunkNs
-			} else if base, ok := unshardedChunked[shardKey]; ok && chunkNs > 0 {
-				// The shards=1 twin runs earlier in the case list.
-				res.ShardSpeedupVs1 = base / chunkNs
-				vsUnsharded = fmt.Sprintf("%6.2fx", res.ShardSpeedupVs1)
+			default:
+				if base, ok := unshardedChunked[shardKey]; ok && chunkNs > 0 {
+					// The shards=1 twin runs earlier in the case list.
+					res.ShardSpeedupVs1 = base / chunkNs
+					vsUnsharded = fmt.Sprintf("%6.2fx", res.ShardSpeedupVs1)
+				}
 			}
-			wfKey := fmt.Sprintf("%s/%s/%d/%s/%d/%v", c.app, c.size, c.n, c.dtype, shards, fused)
+			wfKey := fmt.Sprintf("%s/%s/%d/%s/%d/%d/%v", c.app, c.size, c.n, c.dtype, shards, c.ranks, fused)
 			vsBarrier := ""
 			if c.barrier {
 				barrierChunked[wfKey] = chunkNs
@@ -386,9 +444,9 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				vsBarrier = fmt.Sprintf("%6.2fx", res.WavefrontSpeedupVsBarrier)
 			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3v %6v %14.0f %14.0f %7.2fx %8s %8s %8s %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.DType, res.Shards, boolMark(res.Wavefront), res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3d %3v %6v %14.0f %14.0f %7.2fx %8s %8s %8s %8s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Shards, res.Ranks, boolMark(res.Wavefront), res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
 	return suite, nil
@@ -412,13 +470,13 @@ func boolMark(b bool) string {
 }
 
 // realResultKeys are the per-row fields the schema gate requires
-// ("f32_speedup_vs_f64", "shard_speedup_vs_1", and
+// ("f32_speedup_vs_f64", "shard_speedup_vs_1", "rank_speedup_vs_1", and
 // "wavefront_speedup_vs_barrier" are optional: they only appear on f32,
-// shards>1, and barrier-twinned wavefront rows respectively).
+// shards>1, ranks>0, and barrier-twinned wavefront rows respectively).
 var realResultKeys = []string{
-	"app", "size", "n", "procs", "shards", "wavefront", "dtype", "fused",
-	"iters", "chunked_ns_per_iter", "perpoint_ns_per_iter", "speedup",
-	"tasks_per_iter", "fusion_ratio",
+	"app", "size", "n", "procs", "shards", "ranks", "wavefront", "dtype",
+	"fused", "iters", "chunked_ns_per_iter", "perpoint_ns_per_iter",
+	"speedup", "tasks_per_iter", "fusion_ratio",
 }
 
 // ValidateRealSuite checks a BENCH_real.json payload against the current
@@ -458,6 +516,13 @@ func ValidateRealSuite(data []byte) error {
 		}
 		if r.Shards < 1 {
 			return fmt.Errorf("bench: result %d has shard count %d, want >= 1", i, r.Shards)
+		}
+		if r.Ranks < 0 {
+			return fmt.Errorf("bench: result %d has rank count %d, want >= 0", i, r.Ranks)
+		}
+		if r.Ranks > 1 && (r.Shards != r.Ranks || !r.Wavefront) {
+			return fmt.Errorf("bench: result %d ran at ranks=%d but shards=%d wavefront=%v (distribution forces shards = ranks on the wavefront drain)",
+				i, r.Ranks, r.Shards, r.Wavefront)
 		}
 		if !r.Wavefront && r.Shards <= 1 {
 			return fmt.Errorf("bench: result %d is a stage-barrier row without sharding (the scheduler only differs at shards > 1)", i)

@@ -305,12 +305,17 @@ func (r *Runtime) buildFused(plan *fusionPlan, prefix []*ir.Task) *ir.Task {
 		args[pi] = ir.Arg{Store: src.Store, Part: src.Part, Priv: p.priv, Red: p.red, HaloBytes: src.HaloBytes, ShardGen: src.ShardGen}
 	}
 	r.stats.TempsEliminated += int64(plan.temps)
-	return &ir.Task{
+	t := &ir.Task{
 		Name:      plan.kernel.Name,
 		Launch:    prefix[0].Launch,
 		Args:      args,
 		Kernel:    plan.kernel,
-		Payload:   legion.MergePayloads(prefix),
 		FusedFrom: len(prefix),
 	}
+	// Only attach a payload when one exists: a typed-nil *Payload inside
+	// the any-typed field would read as Payload != nil everywhere else.
+	if p := legion.MergePayloads(prefix); p != nil {
+		t.Payload = p
+	}
+	return t
 }

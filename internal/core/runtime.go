@@ -18,9 +18,11 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"diffuse/internal/dist"
 	"diffuse/internal/ir"
 	"diffuse/internal/legion"
 	"diffuse/internal/machine"
@@ -46,6 +48,16 @@ type Config struct {
 	// disables sharding; results (including reductions) are bit-identical
 	// across shard counts. See DESIGN.md "Sharded execution".
 	Shards int
+	// Ranks launches a multi-process distributed runtime (ModeReal only):
+	// this process becomes the parent of Ranks rank subprocesses (one per
+	// shard; internal/dist) and forwards its post-fusion task stream to
+	// them instead of executing locally. Shards is forced equal to Ranks —
+	// rank r owns shard r, and the fusion layer stamps tasks exactly as it
+	// would for in-process sharding, so ranks=N reproduces Shards=N
+	// bit-for-bit. 0 or 1 disables distribution. The binary embedding this
+	// runtime must call dist.MaybeRankMain first thing in main(), and
+	// Runtime.Close must be called to shut the ranks down.
+	Ranks int
 	// Wavefront selects the sharded drain scheduler: the per-(shard,
 	// stage) dependence DAG (legion.WavefrontOn, the zero value — one
 	// shard may run several stages ahead of another wherever no halo edge
@@ -127,13 +139,25 @@ type Runtime struct {
 	def *Session // default session backing Runtime.Submit / Runtime.Flush
 }
 
-// New creates a Diffuse runtime.
+// New creates a Diffuse runtime. With cfg.Ranks > 1 it also launches the
+// rank subprocesses of a distributed runtime and panics if they cannot be
+// started — a half-launched process mesh has no usable degraded mode.
 func New(cfg Config) *Runtime {
 	if cfg.InitialWindow <= 0 {
 		cfg.InitialWindow = 5
 	}
 	if cfg.MaxWindow <= 0 {
 		cfg.MaxWindow = 512
+	}
+	if cfg.Ranks > 1 {
+		if cfg.Mode != legion.ModeReal {
+			panic("core: distributed execution (Ranks > 1) requires ModeReal")
+		}
+		// Rank r owns shard r, and the distributed drain is built on the
+		// wavefront DAG: both are forced so the parent stamps tasks
+		// exactly as the in-process Shards=Ranks oracle would.
+		cfg.Shards = cfg.Ranks
+		cfg.Wavefront = legion.WavefrontOn
 	}
 	r := &Runtime{
 		cfg:  cfg,
@@ -143,9 +167,26 @@ func New(cfg Config) *Runtime {
 	r.leg.SetExecPolicy(cfg.Exec)
 	r.leg.SetShards(cfg.Shards)
 	r.leg.SetWavefront(cfg.Wavefront)
+	if cfg.Ranks > 1 {
+		par, err := dist.Launch(cfg.Ranks)
+		if err != nil {
+			panic(fmt.Sprintf("core: launching %d-rank distributed runtime: %v", cfg.Ranks, err))
+		}
+		r.leg.SetRemote(par)
+	}
 	r.stats.WindowSize = cfg.InitialWindow
 	r.def = r.NewSession()
 	return r
+}
+
+// Close shuts down the rank subprocesses of a distributed runtime and
+// reports the first failure any of them hit; it is a no-op (and returns
+// nil) for an in-process runtime.
+func (r *Runtime) Close() error {
+	if rb := r.leg.Remote(); rb != nil {
+		return rb.Close()
+	}
+	return nil
 }
 
 // Config returns the runtime's configuration.

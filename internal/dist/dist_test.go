@@ -1,0 +1,156 @@
+package dist_test
+
+// Cross-rank bit-identity tests for the process-per-shard distributed
+// runtime: ranks=N must reproduce the in-process Shards=N drain exactly —
+// full solution vectors and floating-point reductions included — because
+// every rank decodes the same control-replicated task stream and runs the
+// same wavefront schedule over it. The rank subprocesses re-execute this
+// test binary, so TestMain diverts them into the rank control loop before
+// the test framework sees them (and under `go test -race` the ranks run
+// race-enabled too).
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"diffuse/cunum"
+	"diffuse/internal/apps"
+	"diffuse/internal/core"
+	"diffuse/internal/dist"
+)
+
+func TestMain(m *testing.M) {
+	dist.MaybeRankMain()
+	os.Exit(m.Run())
+}
+
+// observables runs one workload on the given context and returns every
+// observable as float64 bit patterns: solution vectors plus sum and max
+// reductions (the fold paths most sensitive to scheduling order).
+type workload struct {
+	name string
+	dt   cunum.DType
+	run  func(ctx *cunum.Context) []uint64
+}
+
+func workloads() []workload {
+	mrhs := func(dt cunum.DType) func(ctx *cunum.Context) []uint64 {
+		return func(ctx *cunum.Context) []uint64 {
+			m := apps.NewJacobiMRHS(ctx, 192, 4, dt)
+			m.Iterate(3)
+			var obs []uint64
+			obs = append(obs, math.Float64bits(m.Residual()))
+			for _, x := range m.X {
+				obs = append(obs, math.Float64bits(x.Sum().Future().Value()))
+				obs = append(obs, math.Float64bits(x.Max().Future().Value()))
+				for _, v := range x.ToHost() {
+					obs = append(obs, math.Float64bits(v))
+				}
+			}
+			return obs
+		}
+	}
+	chain := func(dt cunum.DType) func(ctx *cunum.Context) []uint64 {
+		return func(ctx *cunum.Context) []uint64 {
+			sc := apps.NewStencilChain(ctx, 1024, 64, 4, apps.ChainUpwind, dt)
+			sc.Iterate(2)
+			obs := []uint64{math.Float64bits(sc.Sum())}
+			for _, v := range sc.Live() {
+				obs = append(obs, math.Float64bits(v))
+			}
+			return obs
+		}
+	}
+	return []workload{
+		{name: "Jacobi-MRHS", dt: cunum.F64, run: mrhs(cunum.F64)},
+		{name: "Jacobi-MRHS", dt: cunum.F32, run: mrhs(cunum.F32)},
+		{name: "Stencil-Chain", dt: cunum.F64, run: chain(cunum.F64)},
+		{name: "Stencil-Chain", dt: cunum.F32, run: chain(cunum.F32)},
+	}
+}
+
+func dtypeName(dt cunum.DType) string {
+	if dt == cunum.F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// TestRanksBitIdenticalToShards: every workload observable at ranks=1/2/4
+// equals the in-process Shards=1/2/4 result bit for bit.
+func TestRanksBitIdenticalToShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns rank subprocesses")
+	}
+	for _, w := range workloads() {
+		t.Run(fmt.Sprintf("%s/%s", w.name, dtypeName(w.dt)), func(t *testing.T) {
+			for _, n := range []int{1, 2, 4} {
+				cfg := core.DefaultConfig(n)
+				cfg.Shards = n
+				inproc := cunum.NewContext(core.New(cfg))
+				want := w.run(inproc)
+
+				dctx := cunum.NewDistributedContext(n)
+				got := w.run(dctx)
+				if err := dctx.Close(); err != nil {
+					t.Fatalf("ranks=%d: close: %v", n, err)
+				}
+
+				if len(got) != len(want) {
+					t.Fatalf("ranks=%d: %d observables, want %d", n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("ranks=%d observable %d: %x (%v), want %x (%v)",
+							n, i, got[i], math.Float64frombits(got[i]),
+							want[i], math.Float64frombits(want[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeadPeerSurfacesCleanError: when a rank dies mid-stream, the parent
+// reaps it and the next operation surfaces a wrapped error naming the
+// rank instead of hanging.
+func TestDeadPeerSurfacesCleanError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns rank subprocesses")
+	}
+	// Keep the recv deadline short so a stalled control stream surfaces
+	// quickly; the env var is read at rank startup and by the parent.
+	t.Setenv(dist.EnvTimeout, "2s")
+
+	ctx := cunum.NewDistributedContext(2)
+	defer ctx.Close()
+	x := ctx.Random(7, 64).Keep()
+	y := x.MulC(2).Keep()
+	_ = y.ToHost() // stream is live: both ranks executed and rank 0 replied
+
+	// Kill rank 1 out from under the runtime, then keep issuing work. The
+	// parent must reap the child and panic with an error naming the rank.
+	dist.KillRankForTest(ctx.Runtime().Legion().Remote(), 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("work after a dead rank did not surface an error")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "rank 1") {
+			t.Fatalf("error does not name the dead rank: %v", msg)
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		z := y.AddC(1).Keep()
+		_ = z.ToHost()
+		z.Free()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("parent never noticed the dead rank")
+}

@@ -1,0 +1,418 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/legion"
+)
+
+// Parent is the parent-side handle of a distributed runtime: the rank
+// subprocesses, their control connections, and the lazily-filled store
+// and kernel tables of the wire protocol. It implements
+// legion.RemoteBackend — install it with legion.Runtime.SetRemote and the
+// parent's runtime forwards its whole execution surface here.
+//
+// All backend methods execute under the legion runtime's execution lock,
+// so the tables need no locking of their own; only the child-failure
+// state is shared with the reaper goroutines.
+type Parent struct {
+	ranks   int
+	dir     string
+	cmds    []*exec.Cmd
+	outputs []*tailBuffer
+	conns   []net.Conn
+	timeout time.Duration
+
+	sentStores map[ir.StoreID]bool
+	kernelRefs map[*kir.Kernel]int64
+	nextKernel int64
+
+	mu        sync.Mutex
+	closed    bool
+	childErrs []error // per-rank unexpected-exit diagnoses
+	reaped    sync.WaitGroup
+}
+
+// tailBuffer keeps the last `limit` bytes written — enough of a dead
+// child's output to make the propagated error actionable without
+// unbounded buffering.
+type tailBuffer struct {
+	mu    sync.Mutex
+	buf   []byte
+	limit int
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.limit {
+		t.buf = t.buf[len(t.buf)-t.limit:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// Launch starts a distributed runtime of the given width: it re-executes
+// the current binary once per rank (MaybeRankMain diverts the children
+// into the rank control loop), waits for every rank's control connection,
+// and starts the reapers that turn a dead child into the first-failure
+// error every subsequent operation reports.
+func Launch(ranks int) (*Parent, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("dist: rank count %d out of range", ranks)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locate executable: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "diffuse-dist-")
+	if err != nil {
+		return nil, fmt.Errorf("dist: rendezvous dir: %w", err)
+	}
+	ln, err := net.Listen("unix", filepath.Join(dir, "parent.sock"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("dist: parent listen: %w", err)
+	}
+	defer ln.Close()
+
+	p := &Parent{
+		ranks:      ranks,
+		dir:        dir,
+		conns:      make([]net.Conn, ranks),
+		childErrs:  make([]error, ranks),
+		timeout:    distTimeout(),
+		sentStores: map[ir.StoreID]bool{},
+		kernelRefs: map[*kir.Kernel]int64{},
+	}
+
+	for r := 0; r < ranks; r++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			EnvRank+"="+strconv.Itoa(r),
+			EnvRanks+"="+strconv.Itoa(ranks),
+			EnvPeers+"="+dir,
+		)
+		out := &tailBuffer{limit: 8 << 10}
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			p.kill()
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("dist: start rank %d: %w", r, err)
+		}
+		p.cmds = append(p.cmds, cmd)
+		p.outputs = append(p.outputs, out)
+	}
+
+	if ul, ok := ln.(*net.UnixListener); ok {
+		ul.SetDeadline(time.Now().Add(p.timeout))
+	}
+	for i := 0; i < ranks; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.kill()
+			err = fmt.Errorf("dist: waiting for rank connections: %w%s", err, p.outputTails())
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		tag, body, err := readFrame(conn)
+		if err != nil || tag != msgHello {
+			conn.Close()
+			p.kill()
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("dist: bad hello from rank connection (tag %d): %v", tag, err)
+		}
+		r64, _, err := readI64(body)
+		r := int(r64)
+		if err != nil || r < 0 || r >= ranks || p.conns[r] != nil {
+			conn.Close()
+			p.kill()
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("dist: hello names invalid rank %d", r)
+		}
+		p.conns[r] = conn
+	}
+
+	for i := range p.cmds {
+		p.reaped.Add(1)
+		go p.reap(i)
+	}
+	return p, nil
+}
+
+// Ranks returns the rank count.
+func (p *Parent) Ranks() int { return p.ranks }
+
+// reap waits for one child and records its unexpected death. Every dead
+// rank is recorded, not just the first: one death usually cascades (the
+// peers' halo sockets break and they exit too), and the report must name
+// the root cause along with its victims.
+func (p *Parent) reap(i int) {
+	defer p.reaped.Done()
+	err := p.cmds[i].Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	switch {
+	case err != nil:
+		p.childErrs[i] = fmt.Errorf("dist: rank %d failed: %v%s", i, err, p.outputTailLocked(i))
+	default:
+		p.childErrs[i] = fmt.Errorf("dist: rank %d exited before shutdown%s", i, p.outputTailLocked(i))
+	}
+}
+
+func (p *Parent) outputTailLocked(i int) string {
+	if out := p.outputs[i].String(); out != "" {
+		return "\n--- rank " + strconv.Itoa(i) + " output ---\n" + out
+	}
+	return ""
+}
+
+func (p *Parent) outputTails() string {
+	s := ""
+	for i := range p.outputs {
+		s += p.outputTailLocked(i)
+	}
+	return s
+}
+
+// Err returns the recorded child failures joined in rank order, or nil.
+func (p *Parent) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return errors.Join(p.childErrs...)
+}
+
+// waitChildErr gives the reaper goroutines a moment to diagnose a
+// transport error: a broken control stream almost always means a child
+// died, and the reaped exit statuses (with output tails) name the dead
+// ranks far better than a raw EOF. Once one death is recorded, a further
+// beat lets the rest of a cascade land so the root cause is included.
+func (p *Parent) waitChildErr() error {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Err() != nil {
+			time.Sleep(100 * time.Millisecond)
+			return p.Err()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return p.Err()
+}
+
+func (p *Parent) kill() {
+	for _, cmd := range p.cmds {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// checkHealthy panics with the first child failure: the legion execution
+// surface this backend implements has no error returns, and a dead rank
+// makes every subsequent result undefined.
+func (p *Parent) checkHealthy() {
+	if err := p.Err(); err != nil {
+		panic(err)
+	}
+}
+
+// broadcast sends one control message to every rank, in rank order. The
+// per-rank control streams are FIFO, and every message goes to every
+// rank, so all ranks observe the identical sequence — the control-
+// replication invariant.
+func (p *Parent) broadcast(tag uint64, payload []byte) {
+	p.checkHealthy()
+	for r, conn := range p.conns {
+		if err := writeFrame(conn, tag, payload); err != nil {
+			if cerr := p.waitChildErr(); cerr != nil {
+				panic(cerr)
+			}
+			panic(fmt.Errorf("dist: send to rank %d: %w", r, err))
+		}
+	}
+}
+
+// reply reads rank 0's answer to the read request just broadcast.
+func (p *Parent) reply() []byte {
+	conn := p.conns[0]
+	conn.SetReadDeadline(time.Now().Add(p.timeout))
+	tag, body, err := readFrame(conn)
+	if err != nil {
+		if cerr := p.waitChildErr(); cerr != nil {
+			panic(cerr)
+		}
+		panic(fmt.Errorf("dist: waiting for rank 0 reply: %w", err))
+	}
+	if tag != msgReply {
+		panic(fmt.Errorf("dist: unexpected message %d from rank 0 (want reply)", tag))
+	}
+	return body
+}
+
+func (p *Parent) ensureStore(s *ir.Store) {
+	if p.sentStores[s.ID()] {
+		return
+	}
+	p.broadcast(msgStoreNew, encodeStoreNew(s))
+	p.sentStores[s.ID()] = true
+}
+
+func (p *Parent) ensureKernel(k *kir.Kernel) int64 {
+	if k == nil {
+		return -1
+	}
+	if ref, ok := p.kernelRefs[k]; ok {
+		return ref
+	}
+	ref := p.nextKernel
+	p.nextKernel++
+	p.broadcast(msgKernel, append(appendI64(nil, ref), kir.EncodeKernel(k)...))
+	p.kernelRefs[k] = ref
+	return ref
+}
+
+// Execute implements legion.RemoteBackend: forward one post-fusion task.
+func (p *Parent) Execute(t *ir.Task) {
+	if t.Payload != nil {
+		panic(fmt.Errorf("dist: task %s carries a payload (sparse CSR providers cannot cross process boundaries); payload tasks are not supported in distributed mode", t.Name))
+	}
+	for i := range t.Args {
+		p.ensureStore(t.Args[i].Store)
+	}
+	ref := p.ensureKernel(t.Kernel)
+	b, err := ir.EncodeTask(t, ref)
+	if err != nil {
+		panic(fmt.Errorf("dist: %w", err))
+	}
+	p.broadcast(msgTask, b)
+}
+
+// ReadAt implements legion.RemoteBackend.
+func (p *Parent) ReadAt(s *ir.Store, off int) (float64, bool) {
+	p.ensureStore(s)
+	p.broadcast(msgReadAt, append(appendI64(nil, int64(s.ID())), appendI64(nil, int64(off))...))
+	body := p.reply()
+	if len(body) != 9 {
+		panic(fmt.Errorf("dist: ReadAt reply has %d bytes, want 9", len(body)))
+	}
+	vals, err := bitsToF64s(body[1:])
+	if err != nil {
+		panic(err)
+	}
+	return vals[0], body[0] != 0
+}
+
+// ReadAll implements legion.RemoteBackend.
+func (p *Parent) ReadAll(s *ir.Store) []float64 {
+	p.ensureStore(s)
+	p.broadcast(msgReadAll, appendI64(nil, int64(s.ID())))
+	data, err := bitsToF64s(p.reply())
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// ReadAll32 implements legion.RemoteBackend.
+func (p *Parent) ReadAll32(s *ir.Store) []float32 {
+	p.ensureStore(s)
+	p.broadcast(msgReadAll32, appendI64(nil, int64(s.ID())))
+	data, err := bitsToF32s(p.reply())
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// WriteAll implements legion.RemoteBackend.
+func (p *Parent) WriteAll(s *ir.Store, data []float64) {
+	p.ensureStore(s)
+	p.broadcast(msgWriteAll, encodeF64s(s.ID(), data))
+}
+
+// WriteAll32 implements legion.RemoteBackend.
+func (p *Parent) WriteAll32(s *ir.Store, data []float32) {
+	p.ensureStore(s)
+	p.broadcast(msgWriteAll32, encodeF32s(s.ID(), data))
+}
+
+// FreeStore implements legion.RemoteBackend.
+func (p *Parent) FreeStore(id ir.StoreID) {
+	if !p.sentStores[id] {
+		// The store never reached the ranks; nothing to free there.
+		return
+	}
+	p.broadcast(msgFree, appendI64(nil, int64(id)))
+	delete(p.sentStores, id)
+}
+
+// Drain implements legion.RemoteBackend.
+func (p *Parent) Drain() {
+	p.broadcast(msgDrain, nil)
+}
+
+// Close implements legion.RemoteBackend: shut the ranks down, reap them,
+// and report any recorded failures (nil on a clean run).
+func (p *Parent) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := errors.Join(p.childErrs...)
+		p.mu.Unlock()
+		return err
+	}
+	firstErr := errors.Join(p.childErrs...)
+	p.closed = true
+	p.mu.Unlock()
+
+	// Tell every rank to exit — even after a failure, so healthy ranks
+	// stop promptly instead of waiting out the kill timeout. Send errors
+	// to already-dead ranks are expected then and not reported twice.
+	for r, conn := range p.conns {
+		if err := writeFrame(conn, msgShutdown, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dist: shutdown rank %d: %w", r, err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.reaped.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(p.timeout):
+		p.kill()
+		<-done
+		if firstErr == nil {
+			firstErr = fmt.Errorf("dist: ranks did not exit within %v; killed", p.timeout)
+		}
+	}
+
+	for _, conn := range p.conns {
+		conn.Close()
+	}
+	os.RemoveAll(p.dir)
+	return firstErr
+}
+
+var _ legion.RemoteBackend = (*Parent)(nil)

@@ -1,0 +1,262 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+	"diffuse/internal/legion"
+	"diffuse/internal/machine"
+)
+
+// MaybeRankMain re-enters the current binary as a rank process when the
+// environment says so, and never returns in that case. Every binary that
+// launches a distributed runtime must call it first thing in main() (or
+// TestMain) — the parent launches rank subprocesses by re-executing its
+// own binary with EnvRank set, and this is the hook that diverts those
+// children into the rank control loop instead of the program body.
+func MaybeRankMain() {
+	if os.Getenv(EnvRank) == "" {
+		return
+	}
+	if err := runRank(); err != nil {
+		fmt.Fprintf(os.Stderr, "diffuse dist rank %s: %v\n", os.Getenv(EnvRank), err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// rankState is the decode side of the control stream: the store and
+// kernel tables the parent fills lazily (StoreNew / Kernel messages
+// precede first reference), and the rank's runtime.
+type rankState struct {
+	me    int
+	ranks int
+	rt    *legion.Runtime
+
+	stores  map[ir.StoreID]*ir.Store
+	kernels map[int64]*kir.Kernel
+	// kernelFP caches each interned kernel's fingerprint: tasks carry the
+	// producer's fingerprint and every reference re-verifies it, but the
+	// fingerprint of the (immutable) decoded kernel never changes.
+	kernelFP map[int64]string
+}
+
+func runRank() (err error) {
+	defer func() {
+		// The legion execution path reports distributed failures (peer
+		// death, deadline expiry, protocol violations) by panicking with a
+		// wrapped error naming the rank and stream position; surface those
+		// as the process's exit error so the parent's reaper can propagate
+		// them.
+		if p := recover(); p != nil {
+			if pe, ok := p.(error); ok {
+				err = pe
+			} else {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}
+	}()
+
+	me, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", EnvRank, err)
+	}
+	ranks, err := strconv.Atoi(os.Getenv(EnvRanks))
+	if err != nil || ranks < 1 || me < 0 || me >= ranks {
+		return fmt.Errorf("bad %s/%s: %q of %q", EnvRank, EnvRanks, os.Getenv(EnvRank), os.Getenv(EnvRanks))
+	}
+	dir := os.Getenv(EnvPeers)
+	if dir == "" {
+		return fmt.Errorf("%s not set", EnvPeers)
+	}
+	timeout := distTimeout()
+
+	parent, err := dialRetry(filepath.Join(dir, "parent.sock"), timeout)
+	if err != nil {
+		return fmt.Errorf("connect to parent: %w", err)
+	}
+	defer parent.Close()
+	if err := writeFrame(parent, msgHello, appendI64(nil, int64(me))); err != nil {
+		return fmt.Errorf("hello to parent: %w", err)
+	}
+
+	tx, err := connectMesh(dir, me, ranks, timeout)
+	if err != nil {
+		return err
+	}
+	defer tx.Close()
+
+	rt := legion.New(legion.ModeReal, machine.DefaultA100(ranks))
+	rt.SetDistributed(me, ranks, tx)
+
+	rs := &rankState{
+		me:       me,
+		ranks:    ranks,
+		rt:       rt,
+		stores:   map[ir.StoreID]*ir.Store{},
+		kernels:  map[int64]*kir.Kernel{},
+		kernelFP: map[int64]string{},
+	}
+	return rs.controlLoop(parent)
+}
+
+func (rs *rankState) store(id ir.StoreID) (*ir.Store, error) {
+	s, ok := rs.stores[id]
+	if !ok {
+		return nil, fmt.Errorf("rank %d: stream references unknown store %d", rs.me, id)
+	}
+	return s, nil
+}
+
+func (rs *rankState) kernel(ref int64, fp string) (*kir.Kernel, error) {
+	k, ok := rs.kernels[ref]
+	if !ok {
+		return nil, fmt.Errorf("rank %d: stream references unknown kernel %d", rs.me, ref)
+	}
+	if fp != "" {
+		got, ok := rs.kernelFP[ref]
+		if !ok {
+			got = k.Fingerprint()
+			rs.kernelFP[ref] = got
+		}
+		if got != fp {
+			return nil, fmt.Errorf("rank %d: kernel %d fingerprint mismatch (stream %q, interned %q)", rs.me, ref, fp, got)
+		}
+	}
+	return k, nil
+}
+
+// controlLoop processes the replicated control stream until shutdown.
+// Every rank executes every message (the drains inside host reads and
+// writes are collective), but only rank 0 sends reply payloads.
+func (rs *rankState) controlLoop(parent net.Conn) error {
+	reply := func(payload []byte) error {
+		if rs.me != 0 {
+			return nil
+		}
+		return writeFrame(parent, msgReply, payload)
+	}
+	for {
+		tag, body, err := readFrame(parent)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("rank %d: parent closed the control stream before shutdown", rs.me)
+			}
+			return fmt.Errorf("rank %d: control stream: %w", rs.me, err)
+		}
+		switch tag {
+		case msgStoreNew:
+			s, err := decodeStoreNew(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rs.me, err)
+			}
+			rs.stores[s.ID()] = s
+		case msgKernel:
+			ref, rest, err := readI64(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: kernel message: %w", rs.me, err)
+			}
+			k, err := kir.DecodeKernel(rest)
+			if err != nil {
+				return fmt.Errorf("rank %d: kernel %d: %w", rs.me, ref, err)
+			}
+			rs.kernels[ref] = k
+		case msgTask:
+			t, err := ir.DecodeTask(body, rs.store, rs.kernel)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rs.me, err)
+			}
+			rs.rt.Execute(t)
+		case msgWriteAll:
+			id, data, err := decodeF64s(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: WriteAll: %w", rs.me, err)
+			}
+			s, err := rs.store(id)
+			if err != nil {
+				return err
+			}
+			rs.rt.WriteAll(s, data)
+		case msgWriteAll32:
+			id, data, err := decodeF32s(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: WriteAll32: %w", rs.me, err)
+			}
+			s, err := rs.store(id)
+			if err != nil {
+				return err
+			}
+			rs.rt.WriteAll32(s, data)
+		case msgFree:
+			id, _, err := readI64(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: Free: %w", rs.me, err)
+			}
+			rs.rt.FreeStore(ir.StoreID(id))
+			delete(rs.stores, ir.StoreID(id))
+		case msgDrain:
+			rs.rt.DrainShardGroup()
+		case msgReadAll:
+			id, _, err := readI64(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: ReadAll: %w", rs.me, err)
+			}
+			s, err := rs.store(ir.StoreID(id))
+			if err != nil {
+				return err
+			}
+			data := rs.rt.ReadAll(s)
+			if err := reply(f64sToBits(data)); err != nil {
+				return fmt.Errorf("rank %d: reply: %w", rs.me, err)
+			}
+		case msgReadAll32:
+			id, _, err := readI64(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: ReadAll32: %w", rs.me, err)
+			}
+			s, err := rs.store(ir.StoreID(id))
+			if err != nil {
+				return err
+			}
+			data := rs.rt.ReadAll32(s)
+			if err := reply(f32sToBits(data)); err != nil {
+				return fmt.Errorf("rank %d: reply: %w", rs.me, err)
+			}
+		case msgReadAt:
+			id, rest, err := readI64(body)
+			if err != nil {
+				return fmt.Errorf("rank %d: ReadAt: %w", rs.me, err)
+			}
+			off, _, err := readI64(rest)
+			if err != nil {
+				return fmt.Errorf("rank %d: ReadAt: %w", rs.me, err)
+			}
+			s, err := rs.store(ir.StoreID(id))
+			if err != nil {
+				return err
+			}
+			v, ok := rs.rt.ReadAt(s, int(off))
+			payload := make([]byte, 0, 9)
+			if ok {
+				payload = append(payload, 1)
+			} else {
+				payload = append(payload, 0)
+			}
+			payload = append(payload, f64sToBits([]float64{v})...)
+			if err := reply(payload); err != nil {
+				return fmt.Errorf("rank %d: reply: %w", rs.me, err)
+			}
+		case msgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("rank %d: unknown control message %d", rs.me, tag)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -22,10 +23,41 @@ var projIDs atomic.Int64
 // identity tilings compare equal structurally.
 var IdentityProj = &Projection{id: 0, name: "id", apply: func(p Point) Point { return p }}
 
+// projRegistry maps projection names to their process-local singletons so
+// the wire codec can encode a projection by name: apply functions are Go
+// closures and cannot cross a process boundary, but every rank process runs
+// the same binary and registers the same projections at init time, so a
+// name round-trips to the same function. First registration wins; encoding
+// a projection whose name resolves to a different object fails at encode
+// time (see wire.go).
+var (
+	projRegMu sync.Mutex
+	projReg   = map[string]*Projection{"id": IdentityProj}
+)
+
 // NewProjection registers a new projection function with a fresh identity.
+// The first projection created under each name becomes the wire-decodable
+// singleton for that name.
 func NewProjection(name string, fn func(Point) Point) *Projection {
-	return &Projection{id: projIDs.Add(1), name: name, apply: fn}
+	pr := &Projection{id: projIDs.Add(1), name: name, apply: fn}
+	projRegMu.Lock()
+	if _, ok := projReg[name]; !ok {
+		projReg[name] = pr
+	}
+	projRegMu.Unlock()
+	return pr
 }
+
+// ProjectionByName returns the registered singleton for a projection name,
+// or nil if none was registered.
+func ProjectionByName(name string) *Projection {
+	projRegMu.Lock()
+	defer projRegMu.Unlock()
+	return projReg[name]
+}
+
+// Name returns the projection's registration name.
+func (pr *Projection) Name() string { return pr.name }
 
 // Apply maps a color-space point through the projection.
 func (pr *Projection) Apply(p Point) Point { return pr.apply(p) }

@@ -71,6 +71,22 @@ func (f *Factory) NewStoreTyped(name string, shape []int, dtype DType) *Store {
 	return s
 }
 
+// RestoreStore reconstructs a store with an explicit identity — the
+// decode-side constructor of the distributed control stream, where store
+// IDs are assigned by the parent's Factory and replicated to every rank
+// (internal/dist). The store starts with one application reference, like
+// a Factory-created one.
+func RestoreStore(id StoreID, name string, shape []int, dtype DType) *Store {
+	s := &Store{
+		id:    id,
+		shape: append([]int(nil), shape...),
+		name:  name,
+		dtype: dtype,
+	}
+	s.appRefs.Store(1)
+	return s
+}
+
 // DType returns the store's element type.
 func (s *Store) DType() DType { return s.dtype }
 

@@ -1,0 +1,339 @@
+package kir
+
+// Versioned binary wire codec for kernels — the kernel half of the
+// distributed control stream (see internal/ir/wire.go for the task half).
+// A kernel is encoded as a shared-expression node table followed by the
+// loop list: expression DAGs are flattened in dependency order (children
+// before parents), so shared sub-expressions are emitted once and decode
+// back into a shared DAG, preserving the compiler's evaluate-shared-
+// nodes-once behaviour and keeping re-encoding byte-stable.
+//
+// All integers are little-endian int64, floats are IEEE-754 bit patterns:
+// the encoding trades compactness for determinism — the same kernel always
+// encodes to the same bytes, which the wire round-trip property test
+// asserts directly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// KernelWireVersion is the kernel codec version; decoders reject any
+// other value.
+const KernelWireVersion uint16 = 1
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+func (w *wireWriter) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *wireWriter) i64(v int64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+}
+
+func (w *wireWriter) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+func (w *wireWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *wireWriter) str(s string) {
+	w.i64(int64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *wireWriter) ints(vs []int) {
+	w.i64(int64(len(vs)))
+	for _, v := range vs {
+		w.i64(int64(v))
+	}
+}
+
+func (w *wireWriter) bools(vs []bool) {
+	w.i64(int64(len(vs)))
+	for _, v := range vs {
+		if v {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+}
+
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *wireReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("kir: wire truncated at offset %d (need %d bytes of %d)", r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *wireReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *wireReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) i64() int64 { return int64(r.u64()) }
+
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads a length prefix and bounds-checks it against the remaining
+// bytes (at least min bytes per element) so corrupt streams fail cleanly
+// instead of over-allocating.
+func (r *wireReader) count(min int) int {
+	n := r.i64()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || (min > 0 && n > int64(len(r.buf)-r.off)/int64(min)) {
+		r.fail("kir: wire count %d out of range at offset %d", n, r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) str() string {
+	n := r.count(1)
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *wireReader) ints() []int {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.i64())
+	}
+	return vs
+}
+
+func (r *wireReader) bools() []bool {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]bool, n)
+	for i := range vs {
+		vs[i] = r.u8() != 0
+	}
+	return vs
+}
+
+// exprTable flattens the shared expression DAGs of a kernel into a node
+// list with children preceding parents.
+type exprTable struct {
+	idx   map[*Expr]int64
+	nodes []*Expr
+}
+
+func (t *exprTable) add(e *Expr) int64 {
+	if e == nil {
+		return -1
+	}
+	if i, ok := t.idx[e]; ok {
+		return i
+	}
+	t.add(e.A)
+	t.add(e.B)
+	t.add(e.C)
+	i := int64(len(t.nodes))
+	t.idx[e] = i
+	t.nodes = append(t.nodes, e)
+	return i
+}
+
+// EncodeKernel serializes the kernel to the versioned wire format.
+func EncodeKernel(k *Kernel) []byte {
+	w := &wireWriter{}
+	w.u16(KernelWireVersion)
+	w.str(k.Name)
+	w.i64(int64(k.NParams))
+	w.bools(k.Local)
+	w.i64(int64(len(k.DTypes)))
+	for _, d := range k.DTypes {
+		w.u8(uint8(d))
+	}
+
+	// Expression node table: children before parents, shared nodes once.
+	tab := &exprTable{idx: map[*Expr]int64{}}
+	for _, l := range k.Loops {
+		for _, s := range l.Stmts {
+			tab.add(s.E)
+		}
+	}
+	ref := func(e *Expr) int64 {
+		if e == nil {
+			return -1
+		}
+		return tab.idx[e]
+	}
+	w.i64(int64(len(tab.nodes)))
+	for _, e := range tab.nodes {
+		w.u8(uint8(e.Op))
+		w.i64(ref(e.A))
+		w.i64(ref(e.B))
+		w.i64(ref(e.C))
+		w.i64(int64(e.Param))
+		w.f64(e.Imm)
+		w.u8(uint8(e.DT))
+	}
+
+	w.i64(int64(len(k.Loops)))
+	for _, l := range k.Loops {
+		w.u8(uint8(l.Kind))
+		w.str(l.Dom)
+		w.ints(l.Ext)
+		w.i64(int64(l.ExtRef))
+		w.i64(int64(len(l.Stmts)))
+		for _, s := range l.Stmts {
+			w.u8(uint8(s.Kind))
+			w.i64(int64(s.Param))
+			w.u8(uint8(s.Red))
+			w.i64(ref(s.E))
+		}
+		w.i64(int64(l.Y))
+		w.i64(int64(l.X))
+		w.i64(int64(l.MatA))
+		if l.Acc {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u8(uint8(l.Red))
+		w.u64(l.Seed)
+		w.i64(int64(l.PayloadKey))
+	}
+	return w.buf
+}
+
+// DecodeKernel parses a kernel from the wire format, rebuilding shared
+// expression DAGs. It rejects any version other than KernelWireVersion.
+func DecodeKernel(data []byte) (*Kernel, error) {
+	r := &wireReader{buf: data}
+	if v := r.u16(); r.err == nil && v != KernelWireVersion {
+		return nil, fmt.Errorf("kir: kernel wire version %d, want %d", v, KernelWireVersion)
+	}
+	k := &Kernel{}
+	k.Name = r.str()
+	k.NParams = int(r.i64())
+	k.Local = r.bools()
+	ndt := r.count(1)
+	if ndt > 0 {
+		k.DTypes = make([]DType, ndt)
+		for i := range k.DTypes {
+			k.DTypes[i] = DType(r.u8())
+		}
+	}
+
+	nnodes := r.count(34)
+	nodes := make([]*Expr, nnodes)
+	child := func(ref int64, i int) *Expr {
+		if ref < 0 {
+			return nil
+		}
+		if ref >= int64(i) {
+			r.fail("kir: wire expr node %d references forward node %d", i, ref)
+			return nil
+		}
+		return nodes[ref]
+	}
+	for i := 0; i < nnodes; i++ {
+		e := &Expr{}
+		e.Op = Op(r.u8())
+		e.A = child(r.i64(), i)
+		e.B = child(r.i64(), i)
+		e.C = child(r.i64(), i)
+		e.Param = int(r.i64())
+		e.Imm = r.f64()
+		e.DT = DType(r.u8())
+		nodes[i] = e
+	}
+
+	nloops := r.count(8)
+	for li := 0; li < nloops; li++ {
+		l := &Loop{}
+		l.Kind = LoopKind(r.u8())
+		l.Dom = r.str()
+		l.Ext = r.ints()
+		l.ExtRef = int(r.i64())
+		nst := r.count(18)
+		for si := 0; si < nst; si++ {
+			s := Stmt{}
+			s.Kind = StmtKind(r.u8())
+			s.Param = int(r.i64())
+			s.Red = RedOp(r.u8())
+			ref := r.i64()
+			if ref >= 0 {
+				if ref >= int64(len(nodes)) {
+					r.fail("kir: wire stmt references expr node %d of %d", ref, len(nodes))
+				} else {
+					s.E = nodes[ref]
+				}
+			}
+			l.Stmts = append(l.Stmts, s)
+		}
+		l.Y = int(r.i64())
+		l.X = int(r.i64())
+		l.MatA = int(r.i64())
+		l.Acc = r.u8() != 0
+		l.Red = RedOp(r.u8())
+		l.Seed = r.u64()
+		l.PayloadKey = int(r.i64())
+		k.Loops = append(k.Loops, l)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("kir: %d trailing bytes after kernel", len(data)-r.off)
+	}
+	return k, nil
+}

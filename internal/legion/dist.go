@@ -1,0 +1,600 @@
+package legion
+
+// Distributed (multi-process) execution hooks. The runtime participates in
+// the process-per-shard runtime of internal/dist from both sides:
+//
+//   - On the parent, a RemoteBackend intercepts the execution surface
+//     (Execute, host reads/writes, frees, drains): the parent runs fusion
+//     and submission as usual but owns no data — every call is forwarded
+//     as a control message to the rank processes, and host reads gather
+//     from rank 0.
+//
+//   - On a rank, SetDistributed turns the wavefront drain into the real
+//     thing: rank r decodes the identical control stream every rank
+//     receives, buffers the same shard groups, builds the same wavefront
+//     DAG (control replication — no schedule ever crosses the wire), and
+//     then executes only the unit nodes whose shard it owns. wfHalo nodes
+//     become actual receives of boundary spans, reduction barriers become
+//     an allgather of the per-point partial slices, and the group drain
+//     ends with a write-back exchange that restores the replication
+//     invariant: *between groups, every rank holds a bit-identical replica
+//     of every store*. Under that invariant non-groupable tasks simply
+//     execute in full on every rank (replicated inputs make replicated
+//     outputs), and host reads are satisfied by rank 0 alone.
+//
+// Scheduling: the distributed drain runs its DAG *serially* on the
+// submitting goroutine, in the same deterministic LIFO order on every rank
+// (the DAG is identical, so the order is too). Sends are issued eagerly —
+// a halo's bytes leave the producer the moment its unit completes, and
+// the transport buffers them on the receiver until the matching node
+// runs — so a rank blocked in a receive always waits on a node that some
+// rank is still approaching in the common order; the rank at the earliest
+// blocked position must have its data already sent (its producer sits at
+// an even earlier position), which rules out cross-rank deadlock. A peer
+// that dies instead of sending surfaces as a deadline error naming the
+// rank and the pending entry (see HaloTransport).
+//
+// Determinism: units run the same point decomposition as in-process
+// sharding, partials stay per-point and fold in entry order inside
+// barrier nodes after the allgather, and every transferred byte is an
+// exact IEEE-754 bit pattern — so ranks=N reproduces in-process Shards=N
+// bit-for-bit, the cross-rank correctness oracle the tests enforce.
+
+import (
+	"fmt"
+	"math"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+// RemoteBackend is the parent-side execution surface of a distributed
+// runtime: when set (SetRemote), the runtime forwards every data-touching
+// operation instead of executing locally. Implemented by internal/dist.
+type RemoteBackend interface {
+	// Execute forwards one post-fusion task to every rank.
+	Execute(t *ir.Task)
+	// ReadAt reads one element from rank 0 (all ranks drain first).
+	ReadAt(s *ir.Store, off int) (float64, bool)
+	// ReadAll gathers the store contents, widened to float64, from rank 0.
+	ReadAll(s *ir.Store) []float64
+	// ReadAll32 gathers the store contents as float32 from rank 0.
+	ReadAll32(s *ir.Store) []float32
+	// WriteAll broadcasts a host write to every rank.
+	WriteAll(s *ir.Store, data []float64)
+	// WriteAll32 broadcasts a float32 host write to every rank.
+	WriteAll32(s *ir.Store, data []float32)
+	// FreeStore forwards a store free.
+	FreeStore(id ir.StoreID)
+	// Drain forces every rank to drain its buffered shard group.
+	Drain()
+	// Close shuts the rank processes down and reaps them.
+	Close() error
+}
+
+// SetRemote installs the parent-side backend of a distributed runtime.
+// Must be set before any task executes.
+func (rt *Runtime) SetRemote(rb RemoteBackend) { rt.remote = rb }
+
+// Remote returns the installed parent-side backend, if any.
+func (rt *Runtime) Remote() RemoteBackend { return rt.remote }
+
+// HaloTransport is the rank-side peer transport of a distributed runtime:
+// tagged, ordered, reliable byte messages between ranks. Send must not
+// block on the receiver's progress (the transport buffers until the
+// matching Recv); Recv blocks until the tagged message arrives from the
+// peer or a deadline expires, in which case it returns an error naming
+// the peer. Implemented by internal/dist.
+type HaloTransport interface {
+	Send(peer int, tag uint64, data []byte) error
+	Recv(peer int, tag uint64) ([]byte, error)
+}
+
+// SetDistributed turns this runtime into rank `rank` of an `ranks`-wide
+// distributed runtime: shards are forced to the rank count (shard s is
+// owned by rank s), the wavefront scheduler is forced on (the distributed
+// drain is built on its DAG), and halo/barrier/write-back traffic moves
+// through tx. Must be called before any task executes.
+func (rt *Runtime) SetDistributed(rank, ranks int, tx HaloTransport) {
+	if rank < 0 || rank >= ranks {
+		panic(fmt.Sprintf("legion: rank %d out of range [0,%d)", rank, ranks))
+	}
+	rt.SetShards(ranks)
+	rt.wavefront = WavefrontOn
+	rt.distRank = rank
+	rt.distTx = tx
+}
+
+// Distributed reports whether this runtime executes as a rank of a
+// distributed runtime.
+func (rt *Runtime) Distributed() bool { return rt.distTx != nil }
+
+// Message tag layout: | groupSeq (32) | kind (4) | node/entry (20) | sub (8) |.
+// Tags only need to be unique among concurrently in-flight messages
+// between one (sender, receiver) pair; both sides issue sends and
+// receives in the same deterministic order, so equal tags pair up FIFO.
+const (
+	tagKindHalo      = 0
+	tagKindPartials  = 1
+	tagKindRedDest   = 2
+	tagKindWriteback = 3
+)
+
+func distTag(seq uint64, kind, id, sub int) uint64 {
+	return seq<<32 | uint64(kind&0xF)<<28 | uint64(id&0xFFFFF)<<8 | uint64(sub&0xFF)
+}
+
+// bufBytes encodes elements [lo, hi) of a buffer as IEEE-754 float64 bit
+// patterns (8 bytes per element, regardless of dtype — widening an f32 or
+// i32 element to float64 and back is exact, so the round trip is
+// bit-lossless at the destination dtype).
+func bufBytes(b kir.Buffer, lo, hi int) []byte {
+	out := make([]byte, 0, (hi-lo)*8)
+	for i := lo; i < hi; i++ {
+		bits := math.Float64bits(b.Get(i))
+		out = append(out,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	return out
+}
+
+// patchBuf decodes a bufBytes payload into elements [lo, lo+n) of b,
+// skipping elements covered by cuts — flat spans whose local contents are
+// newer than the sender's (the receiver's own later writes, or a fold
+// result the sender's entry predates).
+func patchBuf(b kir.Buffer, lo int, data []byte, cuts []ir.Span) error {
+	if len(data)%8 != 0 {
+		return fmt.Errorf("legion: halo payload length %d not a multiple of 8", len(data))
+	}
+	n := len(data) / 8
+	for i := 0; i < n; i++ {
+		idx := lo + i
+		cut := false
+		for _, c := range cuts {
+			if idx >= c.Lo && idx < c.Hi {
+				cut = true
+				break
+			}
+		}
+		if cut {
+			continue
+		}
+		off := i * 8
+		bits := uint64(data[off]) | uint64(data[off+1])<<8 | uint64(data[off+2])<<16 | uint64(data[off+3])<<24 |
+			uint64(data[off+4])<<32 | uint64(data[off+5])<<40 | uint64(data[off+6])<<48 | uint64(data[off+7])<<56
+		b.Set(idx, math.Float64frombits(bits))
+	}
+	return nil
+}
+
+// storeWriteSpan returns the union span of the entry's *write* arguments
+// on the store at the given shard — the bytes the entry actually
+// produced there, as opposed to storeSpan's read-inclusive union (which
+// sizes the dependence edges). Halo and write-back transfers must ship
+// write footprints only: a read-inclusive span would overwrite the
+// receiver's data with bytes the producer merely read.
+func storeWriteSpan(u *groupEntry, es *entrySpans, shards, s int, store ir.StoreID) ir.Span {
+	var sp ir.Span
+	for i := range u.plan.args {
+		ap := &u.plan.args[i]
+		if ap.store.ID() == store && ap.priv.Writes() && !ap.local {
+			sp = sp.Union(es.spans[i*shards+s])
+		}
+	}
+	return sp
+}
+
+// distGroupState is the per-drain bookkeeping of one distributed group.
+type distGroupState struct {
+	rt     *Runtime
+	g      *shardGroup
+	d      *wfDAG
+	shards int
+	me     int
+	seq    uint64
+
+	// localDone[e] marks unit(e, me) as executed — the receiver-side cut
+	// logic needs to know which of its own writes already happened.
+	localDone []bool
+	// foldDone[e] marks entry e's reduction folds as applied locally.
+	foldDone []bool
+	// myWrites[store] lists this rank's write spans in entry order; folds
+	// lists the entries reducing into each store.
+	myWrites map[ir.StoreID][]entryWrite
+	folds    map[ir.StoreID][]int
+}
+
+type entryWrite struct {
+	entry int
+	span  ir.Span
+}
+
+func (ds *distGroupState) spansAt(e int) *entrySpans {
+	if ds.d.spans[e] == nil {
+		ds.d.spans[e] = spansFor(&ds.g.entries[e], ds.shards)
+	}
+	return ds.d.spans[e]
+}
+
+func (ds *distGroupState) spanOf(e, s int, store ir.StoreID) ir.Span {
+	return storeSpan(&ds.g.entries[e], ds.spansAt(e), ds.shards, s, store)
+}
+
+func (ds *distGroupState) writeSpanOf(e, s int, store ir.StoreID) ir.Span {
+	return storeWriteSpan(&ds.g.entries[e], ds.spansAt(e), ds.shards, s, store)
+}
+
+// storeBuf returns the region buffer of the store through the entry's
+// plan (every rank resolved every entry's plan before the DAG ran, so
+// the buffer exists on every rank).
+func (ds *distGroupState) storeBuf(e int, store ir.StoreID) kir.Buffer {
+	plan := ds.g.entries[e].plan
+	for i := range plan.args {
+		if ap := &plan.args[i]; ap.store.ID() == store && !ap.local && !ap.data.IsNil() {
+			return ap.data
+		}
+	}
+	panic(fmt.Sprintf("legion: rank %d has no buffer for store %d at entry %d", ds.me, e, store))
+}
+
+// cuts returns the receiver-side exclusion spans for a patch sourced from
+// entry prod on the store: this rank's own write spans from later entries
+// that have already executed (their data is newer than the sender's), and
+// the fold destination cell when a later reduction's fold already ran.
+// onlyDone=false (the post-DAG write-back) treats every entry as done.
+func (ds *distGroupState) cuts(store ir.StoreID, prod int, onlyDone bool) []ir.Span {
+	var cs []ir.Span
+	for _, wr := range ds.myWrites[store] {
+		if wr.entry <= prod {
+			continue
+		}
+		if onlyDone && !ds.localDone[wr.entry] {
+			continue
+		}
+		cs = append(cs, wr.span)
+	}
+	for _, fe := range ds.folds[store] {
+		if fe > prod && (!onlyDone || ds.foldDone[fe]) {
+			cs = append(cs, ir.Span{Lo: 0, Hi: 1})
+			break
+		}
+	}
+	return cs
+}
+
+func (ds *distGroupState) send(peer int, tag uint64, data []byte) {
+	if err := ds.rt.distTx.Send(peer, tag, data); err != nil {
+		panic(fmt.Errorf("legion: rank %d send to rank %d (tag %#x): %w", ds.me, peer, tag, err))
+	}
+	ds.rt.shardStats.DistMsgs++
+	ds.rt.shardStats.DistBytesMoved += int64(len(data))
+}
+
+func (ds *distGroupState) recv(peer int, tag uint64, entry int) []byte {
+	data, err := ds.rt.distTx.Recv(peer, tag)
+	if err != nil {
+		panic(fmt.Errorf("legion: rank %d recv from rank %d at entry %d (tag %#x): %w", ds.me, peer, entry, tag, err))
+	}
+	return data
+}
+
+// sendHalos pushes the boundary bytes of every halo dependence produced
+// by entry e the moment unit(e, me) completes: for each consuming shard,
+// the intersection of this rank's write span with the consumer's span —
+// the same per-partition span intersection that built the halo edges.
+func (ds *distGroupState) sendHalos(e int) {
+	for di := range ds.g.deps {
+		dep := &ds.g.deps[di]
+		if dep.Prod != e || dep.Kind != ir.DepHalo {
+			continue
+		}
+		myProd := ds.spanOf(e, ds.me, dep.Store)
+		if myProd.Empty() {
+			continue
+		}
+		myWrite := ds.writeSpanOf(e, ds.me, dep.Store)
+		for cs := 0; cs < ds.shards; cs++ {
+			if cs == ds.me {
+				continue
+			}
+			consSp := ds.spanOf(dep.Cons, cs, dep.Store)
+			if consSp.Empty() || !myProd.Overlaps(consSp) {
+				continue
+			}
+			w := intersectSpan(myWrite, consSp)
+			if w.Empty() {
+				continue
+			}
+			nid, ok := ds.haloNodeID(di, cs)
+			if !ok {
+				continue
+			}
+			buf := ds.storeBuf(e, dep.Store)
+			ds.send(cs, distTag(ds.seq, tagKindHalo, int(nid), 0), bufBytes(buf, w.Lo, w.Hi))
+		}
+	}
+}
+
+// haloNodeID looks up the DAG node of (dep record, consumer shard).
+func (ds *distGroupState) haloNodeID(depIdx, consShard int) (int32, bool) {
+	nid, ok := ds.d.haloID[int64(depIdx)*int64(ds.shards)+int64(consShard)]
+	return nid, ok
+}
+
+// recvHalo runs a wfHalo node on the consuming rank: receive each
+// overlapping producer shard's boundary bytes and patch them into the
+// local replica, excluding anything this rank has since overwritten.
+func (ds *distGroupState) recvHalo(nid int32) {
+	n := &ds.d.nodes[nid]
+	dep := &ds.g.deps[n.aux]
+	if int(n.shard) != ds.me {
+		return // other consumers' halo nodes are synchronization-only here
+	}
+	consSp := ds.spanOf(int(n.entry), ds.me, dep.Store)
+	if consSp.Empty() {
+		return
+	}
+	buf := ds.storeBuf(dep.Prod, dep.Store)
+	cuts := ds.cuts(dep.Store, dep.Prod, true)
+	for sp := 0; sp < ds.shards; sp++ {
+		if sp == ds.me {
+			continue
+		}
+		prodSp := ds.spanOf(dep.Prod, sp, dep.Store)
+		if prodSp.Empty() || !prodSp.Overlaps(consSp) {
+			continue
+		}
+		w := intersectSpan(ds.writeSpanOf(dep.Prod, sp, dep.Store), consSp)
+		if w.Empty() {
+			continue
+		}
+		data := ds.recv(sp, distTag(ds.seq, tagKindHalo, int(nid), 0), dep.Prod)
+		if len(data) != (w.Hi-w.Lo)*8 {
+			panic(fmt.Sprintf("legion: rank %d halo from rank %d: got %d bytes, want %d", ds.me, sp, len(data), (w.Hi-w.Lo)*8))
+		}
+		if err := patchBuf(buf, w.Lo, data, cuts); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// runBarrier runs a wfBarrier node: allgather every reducing entry's
+// per-point partial slices (each rank computed only its own shard's
+// points), synchronize the destination cell when it was written earlier
+// in this group, then fold the complete partial buffers in entry order —
+// the same fold sequence as in-process execution, now yielding the
+// identical scalar on every rank.
+func (ds *distGroupState) runBarrier(nid int32) {
+	n := &ds.d.nodes[nid]
+	for bi, e := range ds.g.barriers[int(n.entry)] {
+		u := &ds.g.entries[e]
+		plan := u.plan
+		nc := len(plan.colors)
+		myLo, myHi := shardColorRange(u.task.Launch, nc, ds.me, ds.shards)
+		for ri := range plan.redArgs {
+			part := plan.partials[ri]
+			sub := (bi*len(plan.redArgs) + ri) & 0xFF
+			tag := distTag(ds.seq, tagKindPartials, int(nid), sub)
+			if myHi > myLo {
+				payload := bufBytes(part, myLo, myHi)
+				for peer := 0; peer < ds.shards; peer++ {
+					if peer != ds.me {
+						ds.send(peer, tag, payload)
+					}
+				}
+			}
+			for peer := 0; peer < ds.shards; peer++ {
+				if peer == ds.me {
+					continue
+				}
+				plo, phi := shardColorRange(u.task.Launch, nc, peer, ds.shards)
+				if plo >= phi {
+					continue
+				}
+				data := ds.recv(peer, tag, e)
+				if len(data) != (phi-plo)*8 {
+					panic(fmt.Sprintf("legion: rank %d partials from rank %d: got %d bytes, want %d", ds.me, peer, len(data), (phi-plo)*8))
+				}
+				if err := patchBuf(part, plo, data, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ds.syncRedDests(nid, bi, e)
+		u.plan.foldPartials(u.task)
+		ds.foldDone[e] = true
+	}
+}
+
+// syncRedDests replicates the destination cell of entry e's reductions
+// when a unit earlier in this group wrote it: the fold reads the prior
+// cell value, which only the writing shard's rank holds — it broadcasts
+// the cell so every rank folds from the same base.
+func (ds *distGroupState) syncRedDests(nid int32, bi, e int) {
+	plan := ds.g.entries[e].plan
+	for ri, ai := range plan.redArgs {
+		store := plan.args[ai].store.ID()
+		owner, prodEntry := -1, -1
+		for e2 := e - 1; e2 >= 0 && owner < 0; e2-- {
+			for s := 0; s < ds.shards; s++ {
+				if w := ds.writeSpanOf(e2, s, store); !w.Empty() && w.Lo <= 0 && w.Hi > 0 {
+					owner, prodEntry = s, e2
+					break
+				}
+			}
+		}
+		if owner < 0 {
+			continue
+		}
+		buf := ds.storeBuf(e, store)
+		sub := (bi*len(plan.redArgs) + ri) & 0xFF
+		tag := distTag(ds.seq, tagKindRedDest, int(nid), sub)
+		if ds.me == owner {
+			for peer := 0; peer < ds.shards; peer++ {
+				if peer != ds.me {
+					ds.send(peer, tag, bufBytes(buf, 0, 1))
+				}
+			}
+		} else {
+			data := ds.recv(owner, tag, prodEntry)
+			if err := patchBuf(buf, 0, data, nil); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// writeback restores the replication invariant after the DAG drains:
+// every entry's write spans travel from their owning rank to every peer,
+// in entry order (so misaligned overlapping writes resolve to the same
+// last writer everywhere), with receivers excluding their own newer data
+// and fold results.
+func (ds *distGroupState) writeback() {
+	for e := range ds.g.entries {
+		es := ds.spansAt(e)
+		plan := ds.g.entries[e].plan
+		for i := range plan.args {
+			ap := &plan.args[i]
+			if !ap.priv.Writes() || ap.local {
+				continue
+			}
+			store := ap.store.ID()
+			tag := distTag(ds.seq, tagKindWriteback, e, i)
+			mySp := es.spans[i*ds.shards+ds.me]
+			if !mySp.Empty() {
+				payload := bufBytes(ap.data, mySp.Lo, mySp.Hi)
+				for peer := 0; peer < ds.shards; peer++ {
+					if peer != ds.me {
+						ds.send(peer, tag, payload)
+					}
+				}
+			}
+			cuts := ds.cuts(store, e, false)
+			for sp := 0; sp < ds.shards; sp++ {
+				if sp == ds.me {
+					continue
+				}
+				peerSp := es.spans[i*ds.shards+sp]
+				if peerSp.Empty() {
+					continue
+				}
+				data := ds.recv(sp, tag, e)
+				if len(data) != (peerSp.Hi-peerSp.Lo)*8 {
+					panic(fmt.Sprintf("legion: rank %d writeback from rank %d: got %d bytes, want %d", ds.me, sp, len(data), (peerSp.Hi-peerSp.Lo)*8))
+				}
+				if err := patchBuf(ap.data, peerSp.Lo, data, cuts); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+}
+
+func intersectSpan(a, b ir.Span) ir.Span {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if lo >= hi {
+		return ir.Span{}
+	}
+	return ir.Span{Lo: lo, Hi: hi}
+}
+
+// runWavefrontDist drains one group as rank `me` of the distributed
+// runtime: the common wavefront DAG, executed serially in the
+// deterministic LIFO order every rank shares, with owned units executed,
+// foreign units skipped, and halo/barrier/write-back traffic on the
+// transport. Callers hold execMu; plans are resolved and partials reset.
+func (rt *Runtime) runWavefrontDist(g *shardGroup) {
+	shards := rt.Shards()
+	d := g.buildWavefrontDAG(shards)
+	ds := &distGroupState{
+		rt:        rt,
+		g:         g,
+		d:         d,
+		shards:    shards,
+		me:        rt.distRank,
+		seq:       rt.distSeq,
+		localDone: make([]bool, len(g.entries)),
+		foldDone:  make([]bool, len(g.entries)),
+		myWrites:  map[ir.StoreID][]entryWrite{},
+		folds:     map[ir.StoreID][]int{},
+	}
+	rt.distSeq++
+
+	// Per-store write spans at this rank (entry order) and fold entries —
+	// the receiver-side cut metadata.
+	for e := range g.entries {
+		es := ds.spansAt(e)
+		plan := g.entries[e].plan
+		seenRed := map[ir.StoreID]bool{}
+		for i := range plan.args {
+			ap := &plan.args[i]
+			store := ap.store.ID()
+			if ap.priv.Writes() && !ap.local {
+				if sp := es.spans[i*shards+ds.me]; !sp.Empty() {
+					ds.myWrites[store] = append(ds.myWrites[store], entryWrite{entry: e, span: sp})
+				}
+			}
+			if ap.priv.Reduces() && !seenRed[store] {
+				seenRed[store] = true
+				ds.folds[store] = append(ds.folds[store], e)
+			}
+		}
+	}
+
+	ws := &rt.exec.ws[rt.exec.nw]
+	run := func(nid int32) {
+		n := &d.nodes[nid]
+		switch n.kind {
+		case wfUnit:
+			if int(n.shard) == ds.me {
+				rt.runUnitShard(&g.entries[n.entry], ws, int(n.shard), shards)
+				ds.localDone[n.entry] = true
+				ds.sendHalos(int(n.entry))
+			}
+		case wfHalo:
+			ds.recvHalo(nid)
+		case wfBarrier:
+			ds.runBarrier(nid)
+		}
+	}
+
+	// Serial LIFO drain — the same order runDAG's serial path uses, and
+	// (because the DAG is identical) the same order on every rank.
+	var stack []int32
+	for n := len(d.nodes) - 1; n >= 0; n-- {
+		if d.indeg[n].Load() == 0 {
+			stack = append(stack, int32(n))
+		}
+	}
+	done := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		run(n)
+		done++
+		for i := len(d.succ[n]) - 1; i >= 0; i-- {
+			if sn := d.succ[n][i]; d.indeg[sn].Add(-1) == 0 {
+				stack = append(stack, sn)
+			}
+		}
+	}
+	if done != len(d.nodes) {
+		panic(fmt.Sprintf("legion: distributed wavefront DAG stalled at %d/%d nodes (cycle?)", done, len(d.nodes)))
+	}
+
+	ds.writeback()
+
+	rt.shardStats.WavefrontGroups++
+	rt.shardStats.WavefrontNodes += int64(len(d.nodes))
+	rt.shardStats.WavefrontEdges += d.edges
+	rt.shardStats.HaloNodes += d.halos
+	rt.shardStats.BarrierStages += int64(len(g.barriers))
+	rt.shardStats.Stages += int64(g.stages)
+}

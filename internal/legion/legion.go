@@ -138,6 +138,15 @@ type Runtime struct {
 	deferredFreeIn map[ir.StoreID]bool
 	shardStats     ShardStats
 
+	// Distributed execution state (see dist.go): the parent-side backend
+	// that forwards the execution surface to rank processes, and — on a
+	// rank — this process's rank id, the peer transport, and the drained-
+	// group sequence number that namespaces message tags.
+	remote   RemoteBackend
+	distRank int
+	distTx   HaloTransport
+	distSeq  uint64
+
 	// ExecutedTasks counts index tasks that reached the runtime (post
 	// fusion); used by the Fig. 9 accounting.
 	ExecutedTasks int64
@@ -230,6 +239,10 @@ func redIdentity(op ir.ReduceOp) float64 {
 func (rt *Runtime) FreeStore(id ir.StoreID) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		rt.remote.FreeStore(id)
+		return
+	}
 	if rt.group != nil && rt.group.refs[id] > 0 && !rt.deferredFreeIn[id] {
 		if rt.deferredFreeIn == nil {
 			rt.deferredFreeIn = map[ir.StoreID]bool{}
@@ -270,6 +283,9 @@ func (rt *Runtime) ReadAt(s *ir.Store, off int) (v float64, ok bool) {
 	}
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		return rt.remote.ReadAt(s, off)
+	}
 	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.Get(off), true
@@ -280,6 +296,9 @@ func (rt *Runtime) ReadAt(s *ir.Store, off int) (v float64, ok bool) {
 func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		return rt.remote.ReadAll(s)
+	}
 	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.ToF64()
@@ -290,6 +309,9 @@ func (rt *Runtime) ReadAll(s *ir.Store) []float64 {
 func (rt *Runtime) ReadAll32(s *ir.Store) []float32 {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		return rt.remote.ReadAll32(s)
+	}
 	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	return r.data.ToF32()
@@ -300,6 +322,10 @@ func (rt *Runtime) ReadAll32(s *ir.Store) []float32 {
 func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		rt.remote.WriteAll(s, data)
+		return
+	}
 	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	if len(data) != r.data.Len() {
@@ -313,6 +339,10 @@ func (rt *Runtime) WriteAll(s *ir.Store, data []float64) {
 func (rt *Runtime) WriteAll32(s *ir.Store, data []float32) {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		rt.remote.WriteAll32(s, data)
+		return
+	}
 	rt.drainShardGroupLocked()
 	r := rt.regionFor(s, ir.RedNone)
 	if len(data) != r.data.Len() {
@@ -340,6 +370,13 @@ func (rt *Runtime) Execute(t *ir.Task) {
 	rt.ExecutedTasks++
 	if rt.Trace != nil {
 		rt.Trace(t)
+	}
+	if rt.remote != nil {
+		// Distributed parent: the post-fusion stream is forwarded to the
+		// rank processes, which own all data and re-derive the schedule
+		// (control replication); no local coherence or execution happens.
+		rt.remote.Execute(t)
+		return
 	}
 	rt.coherence(t)
 	if rt.mode == ModeSim {

@@ -103,6 +103,15 @@ type ShardStats struct {
 	// because a task in them carries a reduction (the fold must observe
 	// every shard's partials before any later reader runs).
 	BarrierStages int64
+
+	// Distributed counters (see dist.go; all zero unless this runtime is
+	// a rank of a multi-process distributed runtime).
+
+	// DistMsgs is the number of peer messages this rank sent (halos,
+	// reduction partials, write-back spans).
+	DistMsgs int64
+	// DistBytesMoved is the payload bytes of those messages.
+	DistBytesMoved int64
 }
 
 // groupEntry is one index task buffered in the shard group.
@@ -280,6 +289,10 @@ func (rt *Runtime) ShardStatsSnapshot() ShardStats {
 func (rt *Runtime) DrainShardGroup() {
 	rt.execMu.Lock()
 	defer rt.execMu.Unlock()
+	if rt.remote != nil {
+		rt.remote.Drain()
+		return
+	}
 	rt.drainShardGroupLocked()
 }
 
@@ -426,6 +439,32 @@ func (rt *Runtime) enqueueShard(t *ir.Task) {
 		}
 	}
 
+	// A numeric stage is one barrier node in the wavefront DAG, so a
+	// reduction must not land on a stage an earlier entry already waits on
+	// (a bdep): the merged barrier would wait on this task's units, which
+	// chain after the waiting entry — a cycle. Push the reduction to the
+	// first stage with no recorded waiter. Running a fold later is always
+	// safe, and the joinedReds records below keep same-store folds
+	// explicitly ordered behind the earlier barrier.
+	reducesAny := false
+	for _, a := range t.Args {
+		if a.Priv.Reduces() {
+			reducesAny = true
+		}
+	}
+	if reducesAny {
+	relocate:
+		for {
+			for _, bd := range g.bdeps {
+				if bd.stage == stage {
+					stage++
+					continue relocate
+				}
+			}
+			break
+		}
+	}
+
 	// A same-op reduction normally joins the pending reduction's stage
 	// and shares its fold barrier. If another argument bumped this task
 	// to a *later* stage, the two folds get separate barrier nodes, and
@@ -552,7 +591,9 @@ func (rt *Runtime) drainShardGroupLocked() {
 			e.plan = rt.planFor(e.task, e.comp)
 			e.plan.resetPartials(e.task, len(e.plan.colors))
 		}
-		if rt.wavefront == WavefrontOn {
+		if rt.distTx != nil {
+			rt.runWavefrontDist(g)
+		} else if rt.wavefront == WavefrontOn {
 			rt.runWavefront(g)
 		} else {
 			for stage := 0; stage < g.stages; stage++ {

@@ -78,21 +78,33 @@ const (
 
 // wfNode is one node of the wavefront DAG. For units, entry/shard name the
 // (task, shard) pair; for barriers, entry holds the stage whose reduction
-// folds run; halo nodes are pure synchronization.
+// folds run; halo nodes carry the consumer (entry, shard) pair plus, in
+// aux, the index of the g.deps record they resolve — the distributed
+// drain needs it to compute the boundary span the node moves.
 type wfNode struct {
 	kind  wfKind
 	entry int32
 	shard int32
+	aux   int32
 }
 
 // wfDAG is a built wavefront plan: nodes, CAS-decremented in-degrees, and
-// successor lists.
+// successor lists, plus the span cache the distributed drain reuses to
+// compute transfer footprints (the same per-partition span intersection
+// that elided the edges).
 type wfDAG struct {
 	nodes []wfNode
 	indeg []atomic.Int32
 	succ  [][]int32
 	edges int64
 	halos int64
+
+	spans []*entrySpans // lazily computed per-entry spans (may hold nils)
+
+	// haloID maps depIdx*shards+consumerShard to the halo node resolving
+	// that (dependence record, consumer shard) pair — the sender side of
+	// the distributed drain needs the node id to tag its messages.
+	haloID map[int64]int32
 }
 
 func (d *wfDAG) addNode(n wfNode) int32 {
@@ -183,19 +195,20 @@ func (g *shardGroup) buildWavefrontDAG(shards int) *wfDAG {
 	}
 
 	// Spans for the entries named by dependence records, computed lazily.
-	spans := make([]*entrySpans, nentries)
+	d.spans = make([]*entrySpans, nentries)
+	d.haloID = map[int64]int32{}
 	spanOf := func(e, s int, store ir.StoreID) ir.Span {
-		if spans[e] == nil {
-			spans[e] = spansFor(&g.entries[e], shards)
+		if d.spans[e] == nil {
+			d.spans[e] = spansFor(&g.entries[e], shards)
 		}
-		return storeSpan(&g.entries[e], spans[e], shards, s, store)
+		return storeSpan(&g.entries[e], d.spans[e], shards, s, store)
 	}
 
 	// Cross-shard edges from the dependence records: consumer shard s
 	// waits on exactly the producer shards whose spans its own span
 	// overlaps. Same-shard pairs are covered by the chain. Read-after-
 	// write records route through a first-class halo-exchange node.
-	for _, dep := range g.deps {
+	for di, dep := range g.deps {
 		for s := 0; s < shards; s++ {
 			cons := spanOf(dep.Cons, s, dep.Store)
 			if cons.Empty() {
@@ -212,7 +225,8 @@ func (g *shardGroup) buildWavefrontDAG(shards int) *wfDAG {
 				}
 				if dep.Kind == ir.DepHalo {
 					if haloNode < 0 {
-						haloNode = d.addNode(wfNode{kind: wfHalo, entry: int32(dep.Cons), shard: int32(s)})
+						haloNode = d.addNode(wfNode{kind: wfHalo, entry: int32(dep.Cons), shard: int32(s), aux: int32(di)})
+						d.haloID[int64(di)*int64(shards)+int64(s)] = haloNode
 						d.addEdge(haloNode, unit(dep.Cons, s))
 						d.halos++
 					}
