@@ -5,18 +5,21 @@
 //	diffuse-trace -app stencil -iters 2
 //	diffuse-trace -app cg -unfused
 //	diffuse-trace -app swe -gpus 1        # single-point relaxed fusion
-//	diffuse-trace -app stencil -shards 4 -stats   # sharded-drain counters
+//	diffuse-trace -app stencil -shards 4 -stats   # drain + backend counters
+//	diffuse-trace -app cg -interp -stats          # interpreter backend
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"diffuse/cunum"
 	"diffuse/internal/apps"
 	"diffuse/internal/core"
 	"diffuse/internal/ir"
+	"diffuse/internal/legion"
 )
 
 func main() {
@@ -26,13 +29,17 @@ func main() {
 		gpus    = flag.Int("gpus", 4, "processors")
 		unfused = flag.Bool("unfused", false, "disable fusion")
 		shards  = flag.Int("shards", 0, "sharded execution: leading-axis blocks per store (0/1 disables)")
-		stats   = flag.Bool("stats", false, "print sharded-drain counters (wavefront nodes/edges, halo traffic) after the traced run")
+		stats   = flag.Bool("stats", false, "print runtime counters (codegen backend split, sharded drain) after the traced run")
+		interp  = flag.Bool("interp", false, "run kernels on the interpreter instead of the codegen backend")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*gpus)
 	cfg.Enabled = !*unfused
 	cfg.Shards = *shards
+	if *interp {
+		cfg.Codegen = legion.CodegenOff
+	}
 	rt := core.New(cfg)
 	ctx := cunum.NewContext(rt)
 
@@ -70,16 +77,27 @@ func main() {
 
 	if *stats {
 		ctx.Flush()
-		rt.Legion().DrainShardGroup() // make sure buffered groups are counted
-		ss := rt.Legion().ShardStatsSnapshot()
-		fmt.Printf("\nsharded-drain stats (shards=%d):\n", *shards)
-		fmt.Printf("  groups=%d groupedTasks=%d stages=%d fallbacks=%d deferredFrees=%d\n",
-			ss.Groups, ss.GroupedTasks, ss.Stages, ss.Fallbacks, ss.DeferredFrees)
-		fmt.Printf("  wavefrontGroups=%d wavefrontNodes=%d wavefrontEdges=%d barrierStages=%d\n",
-			ss.WavefrontGroups, ss.WavefrontNodes, ss.WavefrontEdges, ss.BarrierStages)
-		fmt.Printf("  haloNodes=%d haloExchanges=%d haloElemsMoved=%d shardUnits=%d\n",
-			ss.HaloNodes, ss.HaloExchanges, ss.HaloElemsMoved, ss.ShardUnits)
+		printStats(os.Stdout, rt, *shards)
 	}
+}
+
+// printStats dumps the runtime's execution counters: the codegen-backend
+// split (which tasks ran compiled, how the program cache behaved) and,
+// when sharding is on, the sharded-drain accounting.
+func printStats(w io.Writer, rt *core.Runtime, shards int) {
+	rt.Legion().DrainShardGroup() // make sure buffered groups are counted
+	cs := rt.Legion().CodegenStatsSnapshot()
+	fmt.Fprintf(w, "\ncodegen-backend stats:\n")
+	fmt.Fprintf(w, "  tasksCompiled=%d tasksInterpreted=%d programCacheHits=%d programCacheMisses=%d\n",
+		cs.TasksCompiled, cs.TasksInterpreted, cs.CacheHits, cs.CacheMisses)
+	ss := rt.Legion().ShardStatsSnapshot()
+	fmt.Fprintf(w, "\nsharded-drain stats (shards=%d):\n", shards)
+	fmt.Fprintf(w, "  groups=%d groupedTasks=%d stages=%d fallbacks=%d deferredFrees=%d\n",
+		ss.Groups, ss.GroupedTasks, ss.Stages, ss.Fallbacks, ss.DeferredFrees)
+	fmt.Fprintf(w, "  wavefrontGroups=%d wavefrontNodes=%d wavefrontEdges=%d barrierStages=%d\n",
+		ss.WavefrontGroups, ss.WavefrontNodes, ss.WavefrontEdges, ss.BarrierStages)
+	fmt.Fprintf(w, "  haloNodes=%d haloExchanges=%d haloElemsMoved=%d shardUnits=%d\n",
+		ss.HaloNodes, ss.HaloExchanges, ss.HaloElemsMoved, ss.ShardUnits)
 }
 
 func buildApp(ctx *cunum.Context, name string) func(int) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"diffuse/cunum"
+	"diffuse/internal/core"
+	"diffuse/internal/legion"
+)
+
+// TestPrintStatsCodegenCountersMove: the -stats dump must show tasks on
+// the codegen backend and a populated program cache after a traced run,
+// and must show the interpreter doing the work under -interp.
+func TestPrintStatsCodegenCountersMove(t *testing.T) {
+	run := func(cg legion.CodegenMode) string {
+		cfg := core.DefaultConfig(2)
+		cfg.Codegen = cg
+		rt := core.New(cfg)
+		ctx := cunum.NewContext(rt)
+		iterate := buildApp(ctx, "blackscholes")
+		iterate(2)
+		ctx.Flush()
+		var buf bytes.Buffer
+		printStats(&buf, rt, 0)
+		return buf.String()
+	}
+
+	coded := run(legion.CodegenOn)
+	if !strings.Contains(coded, "codegen-backend stats:") {
+		t.Fatalf("no codegen section in -stats output:\n%s", coded)
+	}
+	if regexp.MustCompile(`tasksCompiled=0 `).MatchString(coded) {
+		t.Fatalf("codegen run reports zero compiled tasks:\n%s", coded)
+	}
+	if regexp.MustCompile(`programCacheMisses=0\b`).MatchString(coded) {
+		t.Fatalf("codegen run never populated the program cache:\n%s", coded)
+	}
+
+	interp := run(legion.CodegenOff)
+	if !regexp.MustCompile(`tasksCompiled=0 `).MatchString(interp) {
+		t.Fatalf("-interp run still reports compiled tasks:\n%s", interp)
+	}
+	if regexp.MustCompile(`tasksInterpreted=0 `).MatchString(interp) {
+		t.Fatalf("-interp run reports zero interpreted tasks:\n%s", interp)
+	}
+}

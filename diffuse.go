@@ -71,6 +71,14 @@ type ShardStats = legion.ShardStats
 // WavefrontMode selects the sharded drain scheduler (Config.Wavefront).
 type WavefrontMode = legion.WavefrontMode
 
+// CodegenMode selects the kernel execution backend (Config.Codegen).
+type CodegenMode = legion.CodegenMode
+
+// CodegenStats counts codegen-backend activity (tasks on each backend,
+// program-cache hits/misses); read it via
+// rt.Legion().CodegenStatsSnapshot().
+type CodegenStats = legion.CodegenStats
+
 // Real-mode executor policies.
 const (
 	// ExecChunked (default) schedules point tasks on a persistent,
@@ -92,6 +100,17 @@ const (
 	// WavefrontOff drains with global stage barriers (the v1 scheduler,
 	// kept as the measured baseline of the wavefront benchmark rows).
 	WavefrontOff = legion.WavefrontOff
+)
+
+// Kernel execution backends (Config.Codegen; ModeReal only).
+const (
+	// CodegenOn (default) runs element loops and large dense matvecs
+	// through the compiled-kernel closure tier.
+	CodegenOn = legion.CodegenOn
+	// CodegenOff runs every kernel on the register interpreter — the
+	// bit-identical reference backend the benchmark's codegen rows
+	// measure against.
+	CodegenOff = legion.CodegenOff
 )
 
 // Execution modes.

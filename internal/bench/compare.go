@@ -32,18 +32,20 @@ type compareKey struct {
 	Shards    int
 	Ranks     int
 	Wavefront bool
+	Codegen   bool
 	DType     string
 	Fused     bool
 }
 
 func keyOf(r RealResult) compareKey {
 	return compareKey{App: r.App, Size: r.Size, N: r.N, Shards: r.Shards,
-		Ranks: r.Ranks, Wavefront: r.Wavefront, DType: r.DType, Fused: r.Fused}
+		Ranks: r.Ranks, Wavefront: r.Wavefront, Codegen: r.Codegen,
+		DType: r.DType, Fused: r.Fused}
 }
 
 func (k compareKey) String() string {
-	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/%s/fused=%v",
-		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.DType, k.Fused)
+	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/cg=%v/%s/fused=%v",
+		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.Codegen, k.DType, k.Fused)
 }
 
 // CompareRealSuites validates both documents against the current schema,
@@ -118,6 +120,12 @@ func CompareRealSuites(freshData, committedData []byte, tol float64, w io.Writer
 		check("chunked-vs-perpoint", fr.Speedup, cr.Speedup, speedupTol)
 		check("shards-vs-1", fr.ShardSpeedupVs1, cr.ShardSpeedupVs1, 2*tol)
 		check("wavefront-vs-barrier", fr.WavefrontSpeedupVsBarrier, cr.WavefrontSpeedupVsBarrier, 2*tol)
+		// The codegen ratio divides chunked times from two rows measured
+		// back to back (the interpreter twin immediately precedes its
+		// codegen row), so it gets the cross-row floor: a collapse means
+		// the compiled tier stopped engaging — CodegenOff restoring the
+		// interpreter path shows up here as a ratio near 1.
+		check("codegen-vs-interp", fr.CodegenSpeedupVsInterp, cr.CodegenSpeedupVsInterp, 2*tol)
 		// The rank ratio divides a two-process measurement by a one-process
 		// one, so it moves with the runner's core count and load as well as
 		// with the clock — triple the floor: the gate still catches a

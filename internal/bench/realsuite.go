@@ -36,8 +36,12 @@ import (
 // (the `-compare` regression gate matches CI's fresh tiny run against
 // them). v5 added the ranks column (multi-process distributed rows: the
 // workload runs as Ranks rank subprocesses over the local transport, 0 =
-// in-process) and the rank-speedup-vs-1 ratio on distributed rows.
-const RealSchema = "diffuse-bench-real/v5"
+// in-process) and the rank-speedup-vs-1 ratio on distributed rows. v6
+// added the codegen column (the kernel execution backend: the compiled-
+// closure tier vs the register interpreter, bit-identical by the
+// differential harness) and the codegen-vs-interp ratio on codegen rows
+// with an interpreter twin.
+const RealSchema = "diffuse-bench-real/v6"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -53,10 +57,14 @@ type RealResult struct {
 	// Wavefront reports the sharded drain scheduler: true is the
 	// per-(shard, stage) DAG default, false the v1 stage-barrier baseline
 	// (only sharded rows are ever measured with it off).
-	Wavefront bool   `json:"wavefront"`
-	DType     string `json:"dtype"` // element type of the app's arrays (f64/f32)
-	Fused     bool   `json:"fused"` // Diffuse fusion enabled
-	Iters     int    `json:"iters"` // timed iterations
+	Wavefront bool `json:"wavefront"`
+	// Codegen reports the kernel execution backend: true is the compiled-
+	// closure tier default, false the register-interpreter baseline (the
+	// bit-identical oracle the differential harness holds the tier to).
+	Codegen bool   `json:"codegen"`
+	DType   string `json:"dtype"` // element type of the app's arrays (f64/f32)
+	Fused   bool   `json:"fused"` // Diffuse fusion enabled
+	Iters   int    `json:"iters"` // timed iterations
 
 	ChunkedNsPerIter  float64 `json:"chunked_ns_per_iter"`
 	PerPointNsPerIter float64 `json:"perpoint_ns_per_iter"`
@@ -82,6 +90,13 @@ type RealResult struct {
 	// execution buys is memory capacity and real-network scale, and this
 	// ratio makes its overhead a measured, gated quantity.
 	RankSpeedupVs1 float64 `json:"rank_speedup_vs_1,omitempty"`
+
+	// CodegenSpeedupVsInterp (codegen rows with an interpreter twin only)
+	// is the twin's chunked ns/iter divided by this row's — the wall-clock
+	// value of the compiled-kernel tier on this app/size, >1 when codegen
+	// wins. Both rows compute bit-identical results, so the ratio prices
+	// pure dispatch cost.
+	CodegenSpeedupVsInterp float64 `json:"codegen_speedup_vs_interp,omitempty"`
 
 	// WavefrontSpeedupVsBarrier (wavefront rows with a stage-barrier twin
 	// only) is the twin's chunked ns/iter divided by this row's — the
@@ -116,6 +131,7 @@ type realCase struct {
 	shards  int  // sharded-execution block count (0/1 = off)
 	ranks   int  // rank subprocess count (0 = in-process; forces shards = ranks)
 	barrier bool // drain with the v1 stage barriers instead of the wavefront DAG
+	interp  bool // run kernels on the interpreter instead of the codegen tier
 	warmup  int
 	iters   int
 	reps    int
@@ -207,9 +223,17 @@ func fullCases() []realCase {
 		{app: "Jacobi", size: "medium", n: 192, dtype: cunum.F32, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
 		{app: "Jacobi", size: "large", n: 512, dtype: cunum.F32, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
 		{app: "Black-Scholes", size: "small", n: 64, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
+		// Black-Scholes "medium" runs an interpreter twin before each
+		// codegen row: the workload is all element-wise arithmetic (the
+		// loops the closure tier compiles), so its codegen-vs-interp ratio
+		// prices the tier where it matters most, with the f32 row the
+		// headline (monomorphic float32 blocks vs the interpreter's
+		// per-element register dispatch).
+		{app: "Black-Scholes", size: "medium", n: 1024, interp: true, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "medium", n: 1024, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "large", n: 8192, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 100, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "medium", n: 1024, dtype: cunum.F32, interp: true, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "medium", n: 1024, dtype: cunum.F32, warmup: 3, iters: 30, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "large", n: 8192, dtype: cunum.F32, warmup: 3, iters: 10, reps: 2, make: mkBlackScholes},
 		{app: "SWE", size: "small", n: 16, warmup: 4, iters: 60, reps: 3, make: mkSWE},
@@ -264,7 +288,13 @@ func tinyCases() []realCase {
 		{app: "CG", size: "tiny", n: 24, warmup: 1, iters: 6, reps: 3, make: mkCG},
 		{app: "Jacobi", size: "tiny", n: 64, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
 		{app: "Jacobi", size: "tiny", n: 64, dtype: cunum.F32, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
+		// Black-Scholes runs its interpreter twin first so the codegen rows
+		// carry a codegen-vs-interp ratio the gate can watch: a collapse
+		// there means the compiled tier stopped engaging (or stopped being
+		// faster than the interpreter it must beat).
+		{app: "Black-Scholes", size: "tiny", n: 256, interp: true, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "tiny", n: 256, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
+		{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, interp: true, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
 		{app: "Black-Scholes", size: "tiny", n: 256, dtype: cunum.F32, warmup: 1, iters: 4, reps: 3, make: mkBlackScholes},
 		{app: "SWE", size: "tiny", n: 24, warmup: 1, iters: 6, reps: 3, make: mkSWE},
 		{app: "Jacobi-MRHS", size: "tiny", n: 256, warmup: 1, iters: 5, reps: 3, make: mkJacobiMRHS},
@@ -281,8 +311,8 @@ func tinyCases() []realCase {
 }
 
 // realContext builds a ModeReal cunum context with the given fusion,
-// executor, sharding, and drain-scheduler settings.
-func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks int, barrier bool) *cunum.Context {
+// executor, sharding, drain-scheduler, and kernel-backend settings.
+func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks int, barrier, interp bool) *cunum.Context {
 	cfg := core.DefaultConfig(procs)
 	cfg.Mode = legion.ModeReal
 	cfg.Machine = machine.DefaultA100(procs)
@@ -293,13 +323,16 @@ func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks 
 	if barrier {
 		cfg.Wavefront = legion.WavefrontOff
 	}
+	if interp {
+		cfg.Codegen = legion.CodegenOff
+	}
 	return cunum.NewContext(core.New(cfg))
 }
 
 // measureCase runs one configuration on a fresh context and returns
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
-	ctx := realContext(procs, fused, policy, c.shards, c.ranks, c.barrier)
+	ctx := realContext(procs, fused, policy, c.shards, c.ranks, c.barrier, c.interp)
 	defer func() {
 		// Distributed rows launch rank subprocesses; a failed shutdown is a
 		// failed measurement, not a skippable cleanup.
@@ -345,14 +378,16 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
 		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %3s %6s %14s %14s %8s %8s %8s %8s %8s %10s %7s\n",
-		"App", "Size", "N", "DType", "Sh", "Rk", "WF", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "vs 1rk", "Tasks/Iter", "Fusion")
-	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio;
-	// of the shards=1 rows, keyed for the shards-vs-1 ratio; and of the
-	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio.
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %3s %3s %6s %14s %14s %8s %8s %8s %8s %8s %9s %10s %7s\n",
+		"App", "Size", "N", "DType", "Sh", "Rk", "WF", "CG", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "vs 1rk", "vs interp", "Tasks/Iter", "Fusion")
+	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio; of
+	// the shards=1 rows, keyed for the shards-vs-1 ratio; of the
+	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio; and
+	// of the interpreter twins, keyed for the codegen-vs-interp ratio.
 	f64Chunked := map[string]float64{}
 	unshardedChunked := map[string]float64{}
 	barrierChunked := map[string]float64{}
+	interpChunked := map[string]float64{}
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
@@ -393,6 +428,7 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				Shards:    shards,
 				Ranks:     c.ranks,
 				Wavefront: !c.barrier,
+				Codegen:   !c.interp,
 				DType:     c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
 				ChunkedNsPerIter: chunkNs, PerPointNsPerIter: ppNs,
@@ -400,8 +436,10 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				TasksPerIter: tasks, FusionRatio: ratio,
 			}
 			// Ratio-twin keys carry the rank count so distributed rows
-			// never pose as the in-process twin of a later row.
-			pairKey := fmt.Sprintf("%s/%s/%d/%d/%v", c.app, c.size, shards, c.ranks, fused)
+			// never pose as the in-process twin of a later row, and the
+			// kernel backend so interpreter twins only ever pair with
+			// interpreter rows.
+			pairKey := fmt.Sprintf("%s/%s/%d/%d/%v/%v", c.app, c.size, shards, c.ranks, fused, c.interp)
 			vsF64 := ""
 			switch c.dtype {
 			case cunum.F64:
@@ -414,7 +452,7 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 					vsF64 = fmt.Sprintf("%6.2fx", res.F32SpeedupVsF64)
 				}
 			}
-			shardKey := fmt.Sprintf("%s/%s/%s/%v", c.app, c.size, c.dtype, fused)
+			shardKey := fmt.Sprintf("%s/%s/%s/%v/%v", c.app, c.size, c.dtype, fused, c.interp)
 			vsUnsharded, vsRank1 := "", ""
 			switch {
 			case c.ranks > 1:
@@ -434,7 +472,7 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 					vsUnsharded = fmt.Sprintf("%6.2fx", res.ShardSpeedupVs1)
 				}
 			}
-			wfKey := fmt.Sprintf("%s/%s/%d/%s/%d/%d/%v", c.app, c.size, c.n, c.dtype, shards, c.ranks, fused)
+			wfKey := fmt.Sprintf("%s/%s/%d/%s/%d/%d/%v/%v", c.app, c.size, c.n, c.dtype, shards, c.ranks, fused, c.interp)
 			vsBarrier := ""
 			if c.barrier {
 				barrierChunked[wfKey] = chunkNs
@@ -443,10 +481,19 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				res.WavefrontSpeedupVsBarrier = base / chunkNs
 				vsBarrier = fmt.Sprintf("%6.2fx", res.WavefrontSpeedupVsBarrier)
 			}
+			cgKey := fmt.Sprintf("%s/%s/%d/%s/%d/%d/%v", c.app, c.size, c.n, c.dtype, shards, c.ranks, fused)
+			vsInterp := ""
+			if c.interp {
+				interpChunked[cgKey] = chunkNs
+			} else if base, ok := interpChunked[cgKey]; ok && chunkNs > 0 {
+				// The interpreter twin runs earlier in the case list.
+				res.CodegenSpeedupVsInterp = base / chunkNs
+				vsInterp = fmt.Sprintf("%7.2fx", res.CodegenSpeedupVsInterp)
+			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3d %3v %6v %14.0f %14.0f %7.2fx %8s %8s %8s %8s %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.DType, res.Shards, res.Ranks, boolMark(res.Wavefront), res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3d %3v %3s %6v %14.0f %14.0f %7.2fx %8s %8s %8s %8s %9s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Shards, res.Ranks, boolMark(res.Wavefront), cgMark(res.Codegen), res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, vsInterp, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
 	return suite, nil
@@ -469,13 +516,22 @@ func boolMark(b bool) string {
 	return "--"
 }
 
+// cgMark renders a compact kernel-backend marker for the progress table.
+func cgMark(b bool) string {
+	if b {
+		return "cg"
+	}
+	return "--"
+}
+
 // realResultKeys are the per-row fields the schema gate requires
-// ("f32_speedup_vs_f64", "shard_speedup_vs_1", "rank_speedup_vs_1", and
-// "wavefront_speedup_vs_barrier" are optional: they only appear on f32,
-// shards>1, ranks>0, and barrier-twinned wavefront rows respectively).
+// ("f32_speedup_vs_f64", "shard_speedup_vs_1", "rank_speedup_vs_1",
+// "wavefront_speedup_vs_barrier", and "codegen_speedup_vs_interp" are
+// optional: they only appear on f32, shards>1, ranks>0, barrier-twinned
+// wavefront, and interpreter-twinned codegen rows respectively).
 var realResultKeys = []string{
-	"app", "size", "n", "procs", "shards", "ranks", "wavefront", "dtype",
-	"fused", "iters", "chunked_ns_per_iter", "perpoint_ns_per_iter",
+	"app", "size", "n", "procs", "shards", "ranks", "wavefront", "codegen",
+	"dtype", "fused", "iters", "chunked_ns_per_iter", "perpoint_ns_per_iter",
 	"speedup", "tasks_per_iter", "fusion_ratio",
 }
 
@@ -526,6 +582,9 @@ func ValidateRealSuite(data []byte) error {
 		}
 		if !r.Wavefront && r.Shards <= 1 {
 			return fmt.Errorf("bench: result %d is a stage-barrier row without sharding (the scheduler only differs at shards > 1)", i)
+		}
+		if r.CodegenSpeedupVsInterp != 0 && !r.Codegen {
+			return fmt.Errorf("bench: result %d is an interpreter row carrying a codegen-vs-interp ratio (only codegen rows are measured against a twin)", i)
 		}
 		if r.DType != "f64" && r.DType != "f32" {
 			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)

@@ -69,6 +69,15 @@ type Config struct {
 	// reads, frees, incompatible tasks, and Reshard still wait for the
 	// whole buffered group, wavefront or not. Ignored unless Shards > 1.
 	Wavefront legion.WavefrontMode
+	// Codegen selects the kernel execution backend (ModeReal): the
+	// compiled-kernel closure tier (legion.CodegenOn, the zero value —
+	// element loops and large dense matvecs run as per-dtype monomorphic
+	// block loops) or the fully interpreted register evaluator
+	// (legion.CodegenOff, the bit-identical reference the differential
+	// harness and the benchmark's codegen rows compare against). Results
+	// are bit-identical either way; only dispatch cost changes. In a
+	// distributed runtime the mode propagates to every rank subprocess.
+	Codegen legion.CodegenMode
 
 	// Enabled turns the fusion layer on. When false, Diffuse is a
 	// pass-through and the system behaves like standard cuPyNumeric /
@@ -167,8 +176,15 @@ func New(cfg Config) *Runtime {
 	r.leg.SetExecPolicy(cfg.Exec)
 	r.leg.SetShards(cfg.Shards)
 	r.leg.SetWavefront(cfg.Wavefront)
+	r.leg.SetCodegen(cfg.Codegen)
 	if cfg.Ranks > 1 {
-		par, err := dist.Launch(cfg.Ranks)
+		// Ranks execute the kernels, so the backend toggle must reach
+		// them; rank.go reads it back in MaybeRankMain's runtime setup.
+		var extraEnv []string
+		if cfg.Codegen == legion.CodegenOff {
+			extraEnv = append(extraEnv, dist.EnvCodegen+"=off")
+		}
+		par, err := dist.Launch(cfg.Ranks, extraEnv...)
 		if err != nil {
 			panic(fmt.Sprintf("core: launching %d-rank distributed runtime: %v", cfg.Ranks, err))
 		}

@@ -21,6 +21,7 @@ import (
 	"diffuse/internal/apps"
 	"diffuse/internal/core"
 	"diffuse/internal/dist"
+	"diffuse/internal/legion"
 )
 
 func TestMain(m *testing.M) {
@@ -109,6 +110,44 @@ func TestRanksBitIdenticalToShards(t *testing.T) {
 							n, i, got[i], math.Float64frombits(got[i]),
 							want[i], math.Float64frombits(want[i]))
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestRanksCodegenBitIdentity: the kernel backend toggle reaches the rank
+// subprocesses through the environment (dist.EnvCodegen), and a ranks=2
+// run is bit-identical whichever backend the ranks execute on.
+func TestRanksCodegenBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns rank subprocesses")
+	}
+	distCtx := func(cg legion.CodegenMode) *cunum.Context {
+		cfg := core.DefaultConfig(2)
+		cfg.Ranks = 2
+		cfg.Codegen = cg
+		return cunum.NewContext(core.New(cfg))
+	}
+	for _, w := range workloads() {
+		t.Run(fmt.Sprintf("%s/%s", w.name, dtypeName(w.dt)), func(t *testing.T) {
+			on := distCtx(legion.CodegenOn)
+			coded := w.run(on)
+			if err := on.Close(); err != nil {
+				t.Fatalf("codegen=on: close: %v", err)
+			}
+			off := distCtx(legion.CodegenOff)
+			interp := w.run(off)
+			if err := off.Close(); err != nil {
+				t.Fatalf("codegen=off: close: %v", err)
+			}
+			if len(coded) != len(interp) || len(coded) == 0 {
+				t.Fatalf("observable counts differ: %d vs %d", len(coded), len(interp))
+			}
+			for i := range interp {
+				if coded[i] != interp[i] {
+					t.Fatalf("observable %d diverges across backends: %x (codegen) vs %x (interp)",
+						i, coded[i], interp[i])
 				}
 			}
 		})

@@ -72,8 +72,11 @@ func (t *tailBuffer) String() string {
 // the current binary once per rank (MaybeRankMain diverts the children
 // into the rank control loop), waits for every rank's control connection,
 // and starts the reapers that turn a dead child into the first-failure
-// error every subsequent operation reports.
-func Launch(ranks int) (*Parent, error) {
+// error every subsequent operation reports. extraEnv entries ("KEY=val")
+// are appended to each rank's environment — how the parent propagates
+// runtime configuration (e.g. the codegen backend toggle) that ranks
+// must agree on.
+func Launch(ranks int, extraEnv ...string) (*Parent, error) {
 	if ranks < 1 {
 		return nil, fmt.Errorf("dist: rank count %d out of range", ranks)
 	}
@@ -109,6 +112,7 @@ func Launch(ranks int) (*Parent, error) {
 			EnvRanks+"="+strconv.Itoa(ranks),
 			EnvPeers+"="+dir,
 		)
+		cmd.Env = append(cmd.Env, extraEnv...)
 		out := &tailBuffer{limit: 8 << 10}
 		cmd.Stdout = out
 		cmd.Stderr = out

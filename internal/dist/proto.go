@@ -42,6 +42,12 @@ const (
 	// which a missing peer message surfaces as an error instead of a
 	// hang.
 	EnvTimeout = "DIFFUSE_DIST_TIMEOUT"
+	// EnvCodegen carries the parent's kernel-backend selection to the
+	// ranks ("off" disables the codegen tier; anything else, including
+	// unset, leaves the default on). Ranks must agree with the parent or
+	// a bit-identity comparison against the in-process oracle would mix
+	// backends.
+	EnvCodegen = "DIFFUSE_CODEGEN"
 )
 
 // Control-stream message types (the tag field of control frames). The

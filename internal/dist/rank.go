@@ -94,6 +94,9 @@ func runRank() (err error) {
 	defer tx.Close()
 
 	rt := legion.New(legion.ModeReal, machine.DefaultA100(ranks))
+	if os.Getenv(EnvCodegen) == "off" {
+		rt.SetCodegen(legion.CodegenOff)
+	}
 	rt.SetDistributed(me, ranks, tx)
 
 	rs := &rankState{

@@ -1,0 +1,199 @@
+package kir
+
+// Loop blocking for the codegen backend: the sizing of the element-loop
+// lane blocks, and a column-blocked GEMV so fused single-task dense
+// chains get the x-vector block reuse that sharding gives unfused ones
+// (ROADMAP's "sub-point loop-blocking pass"). Both are exact: block shape
+// never changes which float64 operations run or in what order, only how
+// far apart in time they run — see the accumulator-carrying argument on
+// gemvBlockedF64.
+
+const (
+	// cgLaneBudget bounds the lane working set of one element loop
+	// (nregs × block × 8 bytes) so the registers of a block stay resident
+	// in L1 while its instructions stream over them.
+	cgLaneBudget = 32 << 10
+	// cgBlockMin keeps enough elements per block to amortize the closure
+	// dispatch even for instruction-heavy kernels; cgBlockMax caps the
+	// lane length so short loops still fill blocks.
+	cgBlockMin = 32
+	cgBlockMax = 512
+
+	// gemvXSpillBytes is the x-vector size beyond which a GEMV's column
+	// stream no longer survives in cache between rows — the point where
+	// column blocking starts paying. Below it, blocking only adds
+	// bookkeeping, so the plain unrolled path runs.
+	gemvXSpillBytes = 256 << 10
+	// gemvColBlockBytes sizes each column block's x window to sit well
+	// inside L2 across the whole row sweep.
+	gemvColBlockBytes = 64 << 10
+	// gemvBlockMinRows is the minimum row count for blocking: with fewer
+	// rows there is no x reuse to create.
+	gemvBlockMinRows = 8
+)
+
+// planBlock picks the element-loop lane block size for a body of nregs
+// registers: as large as the lane budget allows, clamped to
+// [cgBlockMin, cgBlockMax] and rounded to a multiple of 8.
+func planBlock(nregs int) int {
+	if nregs < 1 {
+		nregs = 1
+	}
+	b := cgLaneBudget / (nregs * 8)
+	if b > cgBlockMax {
+		b = cgBlockMax
+	}
+	if b < cgBlockMin {
+		b = cgBlockMin
+	}
+	return b &^ 7
+}
+
+// execGEMVCg runs a dense matvec loop through the column-blocked kernels
+// when the layout and size make blocking profitable; it returns false —
+// before touching any data — when they don't, and the interpreter's GEMV
+// runs instead.
+func (c *Compiled) execGEMVCg(l *compiledLoop, pa *PointArgs) bool {
+	a := pa.Bind[l.matA]
+	x := pa.Bind[l.x].Acc
+	y := pa.Bind[l.y].Acc
+	rows, cols := a.Ext[0], a.Ext[1]
+	if rows < gemvBlockMinRows {
+		return false
+	}
+	ystride := 1
+	if len(y.Strides) > 0 {
+		ystride = y.Strides[0]
+	}
+	xstride := 1
+	if len(x.Strides) > 0 {
+		xstride = x.Strides[0]
+	}
+	astr0, astr1 := a.Acc.Strides[0], a.Acc.Strides[1]
+	if astr1 != 1 || xstride != 1 {
+		return false
+	}
+	if ad, xd, yd := a.Acc.Data.F64(), x.Data.F64(), y.Data.F64(); ad != nil && xd != nil && yd != nil {
+		if cols*8 < gemvXSpillBytes {
+			return false
+		}
+		gemvBlockedF64(ad, a.Acc.Base, astr0, rows, cols, xd, x.Base, yd, y.Base, ystride, l.acc, pa.Scratch.gemvAcc(4*rows))
+		return true
+	}
+	if ad, xd, yd := a.Acc.Data.F32(), x.Data.F32(), y.Data.F32(); ad != nil && xd != nil && yd != nil {
+		if cols*4 < gemvXSpillBytes {
+			return false
+		}
+		gemvBlockedF32(ad, a.Acc.Base, astr0, rows, cols, xd, x.Base, yd, y.Base, ystride, l.acc, pa.Scratch.gemvAcc32(4*rows))
+		return true
+	}
+	return false
+}
+
+// gemvBlockedF64 computes y = A·x (or y += A·x) in column blocks with the
+// x window of each block reused across every row. Bit-identity with the
+// interpreter's unrolled path is by construction: that path accumulates
+// the j≡0..3 (mod 4) column terms of each row into four independent
+// accumulators s0..s3 in increasing-j order, sums s0+s1+s2+s3, then adds
+// the tail columns. Here the four accumulators of every row are *carried
+// across column blocks* in the partial buffer — each block advances them
+// over its own column span, block boundaries are multiples of 4, and the
+// tail runs once at the end — so each accumulator sees exactly the same
+// additions in exactly the same order, merely interleaved with other
+// rows' work.
+func gemvBlockedF64(ad []float64, aBase, astr0, rows, cols int, xd []float64, xBase int, yd []float64, yBase, ystride int, acc bool, partial []float64) {
+	nb4 := cols &^ 3
+	for i := range partial {
+		partial[i] = 0
+	}
+	blk := gemvColBlockBytes / 8
+	for cb := 0; cb < nb4; cb += blk {
+		hi := cb + blk
+		if hi > nb4 {
+			hi = nb4
+		}
+		xv := xd[xBase+cb : xBase+hi]
+		for i := 0; i < rows; i++ {
+			base := aBase + i*astr0 + cb
+			row := ad[base : base+len(xv)]
+			s0, s1, s2, s3 := partial[4*i], partial[4*i+1], partial[4*i+2], partial[4*i+3]
+			for j := 0; j+4 <= len(row); j += 4 {
+				s0 += row[j] * xv[j]
+				s1 += row[j+1] * xv[j+1]
+				s2 += row[j+2] * xv[j+2]
+				s3 += row[j+3] * xv[j+3]
+			}
+			partial[4*i], partial[4*i+1], partial[4*i+2], partial[4*i+3] = s0, s1, s2, s3
+		}
+	}
+	for i := 0; i < rows; i++ {
+		sum := partial[4*i] + partial[4*i+1] + partial[4*i+2] + partial[4*i+3]
+		base := aBase + i*astr0
+		for j := nb4; j < cols; j++ {
+			sum += ad[base+j] * xd[xBase+j]
+		}
+		if acc {
+			yd[yBase+i*ystride] += sum
+		} else {
+			yd[yBase+i*ystride] = sum
+		}
+	}
+}
+
+// gemvBlockedF32 is the float32 twin (float32 accumulators, the f32 BLAS
+// convention the interpreter's f32 path follows).
+func gemvBlockedF32(ad []float32, aBase, astr0, rows, cols int, xd []float32, xBase int, yd []float32, yBase, ystride int, acc bool, partial []float32) {
+	nb4 := cols &^ 3
+	for i := range partial {
+		partial[i] = 0
+	}
+	blk := gemvColBlockBytes / 4
+	for cb := 0; cb < nb4; cb += blk {
+		hi := cb + blk
+		if hi > nb4 {
+			hi = nb4
+		}
+		xv := xd[xBase+cb : xBase+hi]
+		for i := 0; i < rows; i++ {
+			base := aBase + i*astr0 + cb
+			row := ad[base : base+len(xv)]
+			s0, s1, s2, s3 := partial[4*i], partial[4*i+1], partial[4*i+2], partial[4*i+3]
+			for j := 0; j+4 <= len(row); j += 4 {
+				s0 += row[j] * xv[j]
+				s1 += row[j+1] * xv[j+1]
+				s2 += row[j+2] * xv[j+2]
+				s3 += row[j+3] * xv[j+3]
+			}
+			partial[4*i], partial[4*i+1], partial[4*i+2], partial[4*i+3] = s0, s1, s2, s3
+		}
+	}
+	for i := 0; i < rows; i++ {
+		sum := partial[4*i] + partial[4*i+1] + partial[4*i+2] + partial[4*i+3]
+		base := aBase + i*astr0
+		for j := nb4; j < cols; j++ {
+			sum += ad[base+j] * xd[xBase+j]
+		}
+		if acc {
+			yd[yBase+i*ystride] += sum
+		} else {
+			yd[yBase+i*ystride] = sum
+		}
+	}
+}
+
+// gemvAcc returns the blocked-GEMV carried-accumulator buffer, zero-fill
+// left to the caller.
+func (s *Scratch) gemvAcc(n int) []float64 {
+	if cap(s.gemv64) < n {
+		s.gemv64 = make([]float64, n)
+	}
+	return s.gemv64[:n]
+}
+
+// gemvAcc32 is the float32 twin of gemvAcc.
+func (s *Scratch) gemvAcc32(n int) []float32 {
+	if cap(s.gemv32) < n {
+		s.gemv32 = make([]float32, n)
+	}
+	return s.gemv32[:n]
+}

@@ -1,0 +1,676 @@
+package kir
+
+// The compiled-kernel backend (codegen tier). The register interpreter in
+// exec.go walks one instruction switch per element — on a fused
+// element-wise loop of ~30 instructions the dispatch is a fixed tax on
+// every element, and PR 3's bench notes show it is the ceiling on
+// math-light f32 kernels. Pure Go has no runtime code generation, so this
+// backend gets the same effect the classic way interpreters beat their
+// dispatch: *batching*. Each element-wise loop is lowered once into a
+// sequence of per-instruction closures, each a monomorphic tight loop over
+// a block of elements held in float64 lane buffers. Dispatch (one closure
+// call + captured-variable loads) is paid once per instruction per block
+// of cgBlockSize elements instead of once per instruction per element,
+// and the inner loops are shaped so the compiler eliminates bounds checks
+// and can unroll. Loads and stores are specialized per parameter dtype and
+// per stride at lowering time — no slotState.load/store indirection, no
+// opcode switch.
+//
+// Bit-identity with the interpreter is a hard requirement (the
+// differential harness in diff_test.go replays every workload against
+// both): per element the closures execute the same float64 operation
+// sequence in the same order as the interpreter's switch, stores round
+// through the identical float32/clampI32 conversions, reductions fold
+// lane values into the partial accumulator in element order, and the
+// final fold into the typed destination cell reuses the interpreter's
+// code path. Running an instruction across a whole block before the next
+// instruction is observationally identical because element-wise loops are
+// element-parallel by system invariant: the chunked/sharded executors
+// already run a loop's elements in arbitrary decompositions, FuseLoops
+// refuses to merge loops whose written parameters alias other accessed
+// parameters under different views (mergeSafe), and aligned aliases see
+// stores strictly in instruction order either way. The one construct that
+// would observe batching — an OpLoadScalar of a cell the same loop stores
+// element-wise — is declined at lowering time (the loop stays on the
+// interpreter).
+//
+// A CodegenProgram captures only lowering-time structure (register
+// indices, parameter numbers, dtypes, reduction ops) — never buffers,
+// bindings, or any region state — so one program is shared by every
+// Compiled whose kernel fingerprint matches (the fingerprint covers
+// parameter dtypes, loop shapes, statement trees, and constants, which
+// together determine the lowering exactly). That is what makes the
+// runtime-level program cache (legion) worth keying by fingerprint rather
+// than kernel pointer: unfused streams mint a fresh kernel object per
+// task and still hit.
+
+import "math"
+
+// CodegenProgram is the closure-compiled form of a kernel: one cgLoop per
+// Compiled loop. Immutable after Codegen returns; safe for concurrent use
+// by any number of executing goroutines (all mutable state lives in the
+// per-goroutine Scratch).
+type CodegenProgram struct {
+	loops []cgLoop
+}
+
+// cgLoop is the compiled form of one loop. A nil elem slice on a LoopElem
+// (or a loop kind the backend does not lower) leaves the loop on the
+// interpreter permanently; gemv marks a LoopGEMV eligible for the blocked
+// execution in block.go.
+type cgLoop struct {
+	elem  []cgOp    // LoopElem: per-instruction block closures
+	setup []cgSetup // LoopElem: per-execution lane fills (consts, scalars)
+	// slotDT[s] is the dtype the load/store closures of slot s were
+	// specialized for; execElemCg verifies the bound buffer matches and
+	// falls back to the interpreter when a hand-built binding disagrees.
+	slotDT []DType
+	nregs  int
+	block  int  // lane block size (elements), chosen by planBlock
+	gemv   bool // LoopGEMV: blocked execution eligible
+}
+
+// cgOp executes one instruction across the current lane block.
+type cgOp func(st *cgState)
+
+// cgSetup fills one register's lanes once per loop execution: constants
+// and hoisted scalar loads (whose cell cannot change mid-loop; lowering
+// declines the loop otherwise).
+type cgSetup struct {
+	reg   int
+	param int // scalar-load source parameter; -1 for constants
+	imm   float64
+}
+
+// Lowered reports how many loops of the program run on the codegen
+// backend (observability: tests and the trace tool).
+func (p *CodegenProgram) Lowered() int {
+	n := 0
+	for i := range p.loops {
+		if p.loops[i].elem != nil || p.loops[i].gemv {
+			n++
+		}
+	}
+	return n
+}
+
+// AttachProgram installs a codegen program on the compiled kernel;
+// Execute dispatches each lowered loop to its closures and every other
+// loop to the interpreter. The program must have been built from a kernel
+// with an equal Fingerprint (lowering is deterministic in the
+// fingerprint, so the register/slot numbering agrees).
+func (c *Compiled) AttachProgram(p *CodegenProgram) { c.prog = p }
+
+// Program returns the attached codegen program (nil when the kernel runs
+// fully interpreted).
+func (c *Compiled) Program() *CodegenProgram { return c.prog }
+
+// HasCodegen reports whether any loop of the kernel executes on the
+// codegen backend.
+func (c *Compiled) HasCodegen() bool { return c.prog != nil && c.prog.Lowered() > 0 }
+
+// Codegen lowers a compiled kernel into its closure-backend program — the
+// second compilation stage. It never fails: loops the backend cannot
+// lower (SpMV, generators, axis reductions, and the declined element
+// loops documented above) simply stay on the interpreter, which the
+// differential harness keeps bit-identical anyway.
+func Codegen(c *Compiled) *CodegenProgram {
+	p := &CodegenProgram{loops: make([]cgLoop, len(c.loops))}
+	for i := range c.loops {
+		cl := &c.loops[i]
+		switch cl.kind {
+		case LoopElem:
+			p.loops[i] = lowerElem(c.Kernel, cl)
+		case LoopGEMV:
+			p.loops[i] = cgLoop{gemv: true}
+		}
+	}
+	return p
+}
+
+// lowerElem lowers one element-wise loop body. Returns a zero cgLoop
+// (interpreter) when a decline rule fires.
+func lowerElem(k *Kernel, cl *compiledLoop) cgLoop {
+	// Decline: an OpLoadScalar of a parameter the same loop stores
+	// element-wise reads the cell once per element in the interpreter but
+	// once per loop here.
+	stored := map[int]bool{}
+	for _, ss := range cl.stores {
+		stored[cl.iter[ss.slot].param] = true
+	}
+	for _, in := range cl.body {
+		if in.Op == OpLoadScalar && stored[int(in.Slot)] {
+			return cgLoop{}
+		}
+	}
+	g := cgLoop{nregs: cl.nregs, block: planBlock(cl.nregs)}
+	g.slotDT = make([]DType, len(cl.iter))
+	for s, ip := range cl.iter {
+		g.slotDT[s] = k.DTypeOf(ip.param)
+	}
+	for i := range cl.body {
+		in := &cl.body[i]
+		switch in.Op {
+		case OpConst:
+			g.setup = append(g.setup, cgSetup{reg: int(in.Dst), param: -1, imm: in.Imm})
+		case OpLoadScalar:
+			g.setup = append(g.setup, cgSetup{reg: int(in.Dst), param: int(in.Slot)})
+		case OpLoad:
+			g.elem = append(g.elem, lowerLoad(int(in.Dst), int(in.Slot), g.slotDT[in.Slot]))
+		case opStoreElem:
+			g.elem = append(g.elem, lowerStore(int(in.A), int(in.Slot), g.slotDT[in.Slot]))
+		case opReduceAcc:
+			g.elem = append(g.elem, lowerReduce(int(in.A), int(in.Slot), cl.reduces[in.Slot].red))
+		case OpCast:
+			g.elem = append(g.elem, lowerCast(int(in.Dst), int(in.A), DType(in.Slot)))
+		default:
+			op := lowerArith(in)
+			if op == nil {
+				return cgLoop{} // unknown op: stay on the interpreter
+			}
+			g.elem = append(g.elem, op)
+		}
+	}
+	return g
+}
+
+// lowerLoad builds the load closure for one (register, slot, dtype).
+// Registers are SSA (the builder allocates a fresh one per instruction),
+// so a lane is written by exactly one closure per block.
+func lowerLoad(dst, slot int, dt DType) cgOp {
+	switch dt {
+	case F32:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			s := st.f32[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			for i := range d {
+				d[i] = float64(s[c])
+				c += str
+			}
+		}
+	case I32:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			s := st.i32[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			for i := range d {
+				d[i] = float64(s[c])
+				c += str
+			}
+		}
+	default:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			s := st.f64[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			if str == 1 {
+				copy(d, s[c:c+len(d)])
+				return
+			}
+			for i := range d {
+				d[i] = s[c]
+				c += str
+			}
+		}
+	}
+}
+
+// lowerStore builds the store closure; rounding matches slotState.store
+// (and Buffer.Set) exactly: float32 conversion for F32, clampI32 for I32.
+func lowerStore(src, slot int, dt DType) cgOp {
+	switch dt {
+	case F32:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.f32[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			for i := range a {
+				s[c] = float32(a[i])
+				c += str
+			}
+		}
+	case I32:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.i32[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			for i := range a {
+				s[c] = clampI32(a[i])
+				c += str
+			}
+		}
+	default:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.f64[slot]
+			c, str := st.cur[slot], st.istr[slot]
+			if str == 1 {
+				copy(s[c:c+len(a)], a)
+				return
+			}
+			for i := range a {
+				s[c] = a[i]
+				c += str
+			}
+		}
+	}
+}
+
+// lowerReduce folds the lane into the partial accumulator in lane (=
+// element) order, with the combiner inlined exactly as RedOp.Combine
+// computes it.
+func lowerReduce(src, ri int, red RedOp) cgOp {
+	switch red {
+	case RedMax:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.racc[ri]
+			for i := range a {
+				if !(s > a[i]) {
+					s = a[i]
+				}
+			}
+			st.racc[ri] = s
+		}
+	case RedMin:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.racc[ri]
+			for i := range a {
+				if !(s < a[i]) {
+					s = a[i]
+				}
+			}
+			st.racc[ri] = s
+		}
+	default:
+		return func(st *cgState) {
+			a := st.lane[src][:st.n]
+			s := st.racc[ri]
+			for i := range a {
+				s = s + a[i]
+			}
+			st.racc[ri] = s
+		}
+	}
+}
+
+// lowerCast rounds through the same conversions as DType.Round.
+func lowerCast(dst, src int, dt DType) cgOp {
+	switch dt {
+	case F32:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[src][:len(d)]
+			for i := range d {
+				d[i] = float64(float32(a[i]))
+			}
+		}
+	case I32:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[src][:len(d)]
+			for i := range d {
+				d[i] = float64(clampI32(a[i]))
+			}
+		}
+	default:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[src][:len(d)]
+			copy(d, a)
+		}
+	}
+}
+
+// lowerArith builds the closure of one arithmetic/comparison instruction.
+// Each case is a monomorphic loop over equal-length lane slices (resliced
+// to the destination's length so the compiler drops the bounds checks);
+// the math calls are the identical stdlib functions the interpreter uses.
+func lowerArith(in *Instr) cgOp {
+	dst, ra, rb, rc := int(in.Dst), int(in.A), int(in.B), int(in.C)
+	switch in.Op {
+	case OpAdd:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = a[i] + b[i]
+			}
+		}
+	case OpSub:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = a[i] - b[i]
+			}
+		}
+	case OpMul:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = a[i] * b[i]
+			}
+		}
+	case OpDiv:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = a[i] / b[i]
+			}
+		}
+	case OpNeg:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = -a[i]
+			}
+		}
+	case OpAbs:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Abs(a[i])
+			}
+		}
+	case OpSqrt:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Sqrt(a[i])
+			}
+		}
+	case OpExp:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Exp(a[i])
+			}
+		}
+	case OpLog:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Log(a[i])
+			}
+		}
+	case OpErf:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Erf(a[i])
+			}
+		}
+	case OpPow:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = math.Pow(a[i], b[i])
+			}
+		}
+	case OpMax:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = math.Max(a[i], b[i])
+			}
+		}
+	case OpMin:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				d[i] = math.Min(a[i], b[i])
+			}
+		}
+	case OpSin:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Sin(a[i])
+			}
+		}
+	case OpCos:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			for i := range d {
+				d[i] = math.Cos(a[i])
+			}
+		}
+	case OpGE:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				if a[i] >= b[i] {
+					d[i] = 1
+				} else {
+					d[i] = 0
+				}
+			}
+		}
+	case OpLE:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			for i := range d {
+				if a[i] <= b[i] {
+					d[i] = 1
+				} else {
+					d[i] = 0
+				}
+			}
+		}
+	case OpSel:
+		return func(st *cgState) {
+			d := st.lane[dst][:st.n]
+			a := st.lane[ra][:len(d)]
+			b := st.lane[rb][:len(d)]
+			c := st.lane[rc][:len(d)]
+			for i := range d {
+				if a[i] != 0 {
+					d[i] = b[i]
+				} else {
+					d[i] = c[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cgState is the per-goroutine execution state of the codegen backend:
+// the register lane buffers, the per-slot streaming cursors/slices, and
+// the reduction partials. It lives in Scratch and is resized, never
+// reallocated, on the steady-state path.
+type cgState struct {
+	buf  []float64   // backing storage for all lanes
+	lane [][]float64 // lane[r] is register r's block, length = loop's block size
+	n    int         // active elements in the current block
+
+	cur  []int // per-slot cursor at the current block's first element
+	istr []int // per-slot innermost-dimension stride
+	f64  [][]float64
+	f32  [][]float32
+	i32  [][]int32
+
+	racc []float64
+}
+
+// cg returns the scratch's codegen state sized for one loop execution.
+func (s *Scratch) cg(nregs, block, nslots, nred int) *cgState {
+	if s.cgs == nil {
+		s.cgs = &cgState{}
+	}
+	st := s.cgs
+	if need := nregs * block; cap(st.buf) < need {
+		st.buf = make([]float64, need)
+	}
+	if cap(st.lane) < nregs {
+		st.lane = make([][]float64, nregs)
+	}
+	st.lane = st.lane[:nregs]
+	for r := 0; r < nregs; r++ {
+		st.lane[r] = st.buf[r*block : (r+1)*block]
+	}
+	if cap(st.cur) < nslots {
+		st.cur = make([]int, nslots)
+		st.istr = make([]int, nslots)
+		st.f64 = make([][]float64, nslots)
+		st.f32 = make([][]float32, nslots)
+		st.i32 = make([][]int32, nslots)
+	}
+	st.cur = st.cur[:nslots]
+	st.istr = st.istr[:nslots]
+	st.f64 = st.f64[:nslots]
+	st.f32 = st.f32[:nslots]
+	st.i32 = st.i32[:nslots]
+	if cap(st.racc) < nred {
+		st.racc = make([]float64, nred)
+	}
+	st.racc = st.racc[:nred]
+	return st
+}
+
+// release drops buffer references so a parked scratch never pins freed
+// regions (the same discipline as the interpreter's slot states).
+func (st *cgState) release() {
+	for s := range st.f64 {
+		st.f64[s], st.f32[s], st.i32[s] = nil, nil, nil
+	}
+}
+
+// execElemCg runs one element-wise loop on the codegen backend. It
+// returns false — before touching any data — when a runtime guard fails
+// (a bound buffer's dtype disagrees with the lowering), in which case the
+// caller runs the interpreter.
+func (c *Compiled) execElemCg(l *compiledLoop, g *cgLoop, pa *PointArgs) bool {
+	ext := pa.Bind[l.extRef].Ext
+	total := extTotal(ext)
+	if total == 0 {
+		return true
+	}
+	rank := len(ext)
+	st := pa.Scratch.cg(g.nregs, g.block, len(l.iter), len(l.reduces))
+	for s, ip := range l.iter {
+		b := &pa.Bind[ip.param]
+		if b.Acc.Data.DType() != g.slotDT[s] {
+			st.release()
+			return false
+		}
+		switch g.slotDT[s] {
+		case F32:
+			st.f32[s] = b.Acc.Data.f32
+		case I32:
+			st.i32[s] = b.Acc.Data.i32
+		default:
+			st.f64[s] = b.Acc.Data.f64
+		}
+		st.cur[s] = b.Acc.Base
+		if rank > 0 {
+			st.istr[s] = b.Acc.Strides[rank-1]
+		} else {
+			st.istr[s] = 0
+		}
+	}
+	for r := range l.reduces {
+		st.racc[r] = l.reduces[r].red.Identity()
+	}
+	// Per-execution lane fills: constants and hoisted scalar loads. Fill
+	// the whole block capacity once; every block reads a prefix.
+	for _, su := range g.setup {
+		v := su.imm
+		if su.param >= 0 {
+			b := &pa.Bind[su.param]
+			v = b.Acc.Data.Get(b.Acc.Base)
+		}
+		lane := st.lane[su.reg]
+		for i := range lane {
+			lane[i] = v
+		}
+	}
+
+	inner := 1
+	if rank > 0 {
+		inner = ext[rank-1]
+	}
+	outer := total / inner
+	// Outer odometer over dims 0..rank-2 (matches the interpreter's
+	// element odometer restricted to the non-innermost dims).
+	sc := pa.Scratch
+	sc.grow(0, 0, rank, 0)
+	idx := sc.idx[:rank]
+	for d := range idx {
+		idx[d] = 0
+	}
+	for o := 0; o < outer; o++ {
+		rem := inner
+		for rem > 0 {
+			n := g.block
+			if n > rem {
+				n = rem
+			}
+			st.n = n
+			for _, op := range g.elem {
+				op(st)
+			}
+			for s := range st.cur {
+				st.cur[s] += st.istr[s] * n
+			}
+			rem -= n
+		}
+		if o+1 == outer {
+			break
+		}
+		// Rewind the innermost dim, then advance an outer dim exactly as
+		// the interpreter's odometer does.
+		for s := range st.cur {
+			st.cur[s] -= st.istr[s] * inner
+		}
+		for d := rank - 2; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < ext[d] {
+				for s, ip := range l.iter {
+					st.cur[s] += pa.Bind[ip.param].Acc.Strides[d]
+				}
+				break
+			}
+			idx[d] = 0
+			for s, ip := range l.iter {
+				st.cur[s] -= pa.Bind[ip.param].Acc.Strides[d] * (ext[d] - 1)
+			}
+		}
+	}
+	// Fold partials into the typed reduction cells — the interpreter's
+	// exact sequence.
+	for r := range l.reduces {
+		rs := &l.reduces[r]
+		acc := pa.Bind[rs.param].Acc
+		acc.Data.Set(acc.Base, rs.red.Combine(acc.Data.Get(acc.Base), st.racc[r]))
+	}
+	st.release()
+	return true
+}

@@ -1,0 +1,251 @@
+package kir
+
+import (
+	"math"
+	"testing"
+)
+
+// contiguous builds a contiguous binding over a fresh buffer of the given
+// shape, filled by fill(i) over flat indices.
+func contiguous(dt DType, shape []int, fill func(i int) float64) Binding {
+	n := 1
+	strides := make([]int, len(shape))
+	for d := len(shape) - 1; d >= 0; d-- {
+		strides[d] = n
+		n *= shape[d]
+	}
+	buf := AllocBuffer(dt, n)
+	for i := 0; i < n; i++ {
+		buf.Set(i, fill(i))
+	}
+	return Binding{Acc: Accessor{Data: buf, Strides: strides}, Ext: shape}
+}
+
+func TestPlanBlock(t *testing.T) {
+	for _, nregs := range []int{0, 1, 2, 4, 16, 64, 1000, 100000} {
+		b := planBlock(nregs)
+		if b < cgBlockMin-7 || b > cgBlockMax {
+			t.Fatalf("planBlock(%d) = %d out of range", nregs, b)
+		}
+		if b%8 != 0 {
+			t.Fatalf("planBlock(%d) = %d not a multiple of 8", nregs, b)
+		}
+	}
+	if planBlock(1) != cgBlockMax {
+		t.Fatalf("tiny body should get the max block, got %d", planBlock(1))
+	}
+}
+
+// gemvKernel builds y = A·x (or y += A·x) with params 0=A, 1=x, 2=y.
+func gemvKernel(dt DType, rows, cols int, acc bool) *Kernel {
+	k := NewKernel("gemv", 3)
+	for p := 0; p < 3; p++ {
+		k.SetDType(p, dt)
+	}
+	k.AddLoop(&Loop{Kind: LoopGEMV, Dom: "g", Ext: []int{rows, cols},
+		ExtRef: 0, MatA: 0, X: 1, Y: 2, Acc: acc})
+	return k
+}
+
+// TestBlockedGEMVBitIdentical: past the x-spill threshold the blocked
+// GEMV must engage and reproduce the interpreter's unrolled path bit for
+// bit (the carried-accumulator argument in block.go, checked here).
+func TestBlockedGEMVBitIdentical(t *testing.T) {
+	cases := []struct {
+		dt   DType
+		cols int
+	}{
+		{F64, gemvXSpillBytes/8 + 128}, // 32896 cols: past the f64 spill
+		{F32, gemvXSpillBytes/4 + 128}, // 65664 cols: past the f32 spill
+	}
+	for _, tc := range cases {
+		for _, acc := range []bool{false, true} {
+			rows := 16
+			comp := Compile(gemvKernel(tc.dt, rows, tc.cols, acc))
+			coded := Compile(gemvKernel(tc.dt, rows, tc.cols, acc))
+			coded.AttachProgram(Codegen(coded))
+			if !coded.HasCodegen() {
+				t.Fatalf("%s: GEMV loop not marked for the blocked backend", tc.dt)
+			}
+			mk := func() []Binding {
+				fill := func(i int) float64 { return math.Sin(float64(i)*0.7) * 3 }
+				return []Binding{
+					contiguous(tc.dt, []int{rows, tc.cols}, fill),
+					contiguous(tc.dt, []int{tc.cols}, fill),
+					contiguous(tc.dt, []int{rows}, fill),
+				}
+			}
+			bi, bc := mk(), mk()
+			paC := &PointArgs{Bind: bc, Scratch: NewScratch()}
+			// The blocked path must actually engage at this size, not fall
+			// back — otherwise this test would pass vacuously.
+			if !coded.execGEMVCg(&coded.loops[0], paC) {
+				t.Fatalf("%s cols=%d: blocked GEMV declined past the spill threshold", tc.dt, tc.cols)
+			}
+			comp.Execute(&PointArgs{Bind: bi})
+			if !buffersEqualBits(bi[2].Acc.Data, bc[2].Acc.Data) {
+				t.Fatalf("%s acc=%t: blocked GEMV diverges from interpreter", tc.dt, acc)
+			}
+		}
+	}
+}
+
+// TestBlockedGEMVDeclines: below the thresholds or off the expected
+// layout, execGEMVCg must return false before touching any data.
+func TestBlockedGEMVDeclines(t *testing.T) {
+	fill := func(i int) float64 { return float64(i % 7) }
+
+	// Small x: blocking buys nothing, plain unrolled path runs.
+	small := Compile(gemvKernel(F64, 16, 64, false))
+	pa := &PointArgs{Bind: []Binding{
+		contiguous(F64, []int{16, 64}, fill),
+		contiguous(F64, []int{64}, fill),
+		contiguous(F64, []int{16}, fill),
+	}, Scratch: NewScratch()}
+	if small.execGEMVCg(&small.loops[0], pa) {
+		t.Fatal("blocked GEMV engaged below the spill threshold")
+	}
+
+	// Too few rows: no x reuse to create.
+	cols := gemvXSpillBytes/8 + 128
+	short := Compile(gemvKernel(F64, 2, cols, false))
+	pa = &PointArgs{Bind: []Binding{
+		contiguous(F64, []int{2, cols}, fill),
+		contiguous(F64, []int{cols}, fill),
+		contiguous(F64, []int{2}, fill),
+	}, Scratch: NewScratch()}
+	if short.execGEMVCg(&short.loops[0], pa) {
+		t.Fatal("blocked GEMV engaged with rows < gemvBlockMinRows")
+	}
+
+	// Non-unit innermost matrix stride: the streaming row slices assume
+	// unit stride.
+	strided := Compile(gemvKernel(F64, 16, cols, false))
+	a := contiguous(F64, []int{16, 2 * cols}, fill)
+	a.Ext = []int{16, cols}
+	a.Acc.Strides = []int{2 * cols, 2}
+	pa = &PointArgs{Bind: []Binding{
+		a,
+		contiguous(F64, []int{cols}, fill),
+		contiguous(F64, []int{16}, fill),
+	}, Scratch: NewScratch()}
+	if strided.execGEMVCg(&strided.loops[0], pa) {
+		t.Fatal("blocked GEMV engaged on a non-unit matrix stride")
+	}
+}
+
+// TestCodegenDeclinesScalarLoadOfStoredParam: the one construct that
+// could observe batching — reading a cell as a scalar while the same
+// loop stores it element-wise — must keep the loop on the interpreter.
+func TestCodegenDeclinesScalarLoadOfStoredParam(t *testing.T) {
+	k := NewKernel("selfref", 1)
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "d", Ext: []int{8}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 0,
+			E: Binary(OpAdd, LoadScalar(0), Const(1))}}})
+	c := Compile(k)
+	p := Codegen(c)
+	if p.Lowered() != 0 {
+		t.Fatal("loop with a scalar load of its own store destination was lowered")
+	}
+	c.AttachProgram(p)
+	if c.HasCodegen() {
+		t.Fatal("HasCodegen true with nothing lowered")
+	}
+	// The interpreter still runs it, with its per-element read of cell 0:
+	// element 0 reads 0 and stores 1 into cell 0; every later element
+	// reads that 1 and stores 2 into its own cell. A batched execution
+	// would have read 0 for the whole block — the divergence the decline
+	// rule exists to prevent.
+	b := contiguous(F64, []int{8}, func(int) float64 { return 0 })
+	c.Execute(&PointArgs{Bind: []Binding{b}})
+	for i := 0; i < 8; i++ {
+		want := 2.0
+		if i == 0 {
+			want = 1
+		}
+		if got := b.Acc.Data.Get(i); got != want {
+			t.Fatalf("element %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestCodegenDTypeGuard: a lowered loop bound (by hand) to a buffer of a
+// different dtype must fall back to the interpreter rather than
+// misinterpret the raw slices.
+func TestCodegenDTypeGuard(t *testing.T) {
+	k := NewKernel("guard", 2) // declared f64
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "d", Ext: []int{16}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 1,
+			E: Binary(OpMul, Load(0), Const(2))}}})
+	c := Compile(k)
+	c.AttachProgram(Codegen(c))
+	if !c.HasCodegen() {
+		t.Fatal("loop not lowered")
+	}
+	// Bind f32 buffers against the f64 lowering.
+	in := contiguous(F32, []int{16}, func(i int) float64 { return float64(i) + 0.5 })
+	out := contiguous(F32, []int{16}, func(int) float64 { return 0 })
+	pa := &PointArgs{Bind: []Binding{in, out}, Scratch: NewScratch()}
+	if c.execElemCg(&c.loops[0], &c.prog.loops[0], pa) {
+		t.Fatal("codegen ran against buffers of the wrong dtype")
+	}
+	// Execute takes the fallback transparently and the interpreter
+	// computes the right values.
+	c.Execute(pa)
+	for i := 0; i < 16; i++ {
+		want := (float64(i) + 0.5) * 2 // exact in f32 at this range
+		if got := out.Acc.Data.Get(i); got != want {
+			t.Fatalf("element %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestCodegenProgramShared: a program captures only lowering-time
+// structure, so one program built from kernel A serves any Compiled with
+// an equal fingerprint — the property the runtime's fingerprint-keyed
+// cache depends on.
+func TestCodegenProgramShared(t *testing.T) {
+	mk := func() *Kernel {
+		k := NewKernel("shared", 2)
+		k.AddLoop(&Loop{Kind: LoopElem, Dom: "d", Ext: []int{64}, ExtRef: 0,
+			Stmts: []Stmt{{Kind: KStore, Param: 1,
+				E: Binary(OpAdd, Unary(OpSqrt, Unary(OpAbs, Load(0))), Const(1))}}})
+		return k
+	}
+	k1, k2 := mk(), mk()
+	if k1.Fingerprint() != k2.Fingerprint() {
+		t.Fatal("twin kernels should share a fingerprint")
+	}
+	c1, c2 := Compile(k1), Compile(k2)
+	prog := Codegen(c1)
+	c2.AttachProgram(prog) // program minted from c1, attached to c2
+
+	fill := func(i int) float64 { return float64(i) - 31.5 }
+	bi := []Binding{contiguous(F64, []int{64}, fill), contiguous(F64, []int{64}, func(int) float64 { return 0 })}
+	bc := []Binding{contiguous(F64, []int{64}, fill), contiguous(F64, []int{64}, func(int) float64 { return 0 })}
+	c1.Execute(&PointArgs{Bind: bi})
+	c2.Execute(&PointArgs{Bind: bc})
+	if !buffersEqualBits(bi[1].Acc.Data, bc[1].Acc.Data) {
+		t.Fatal("shared program diverges from interpreter")
+	}
+}
+
+// TestCodegenLowered: Lowered/HasCodegen count exactly the loops the
+// backend takes — element loops and GEMVs, never generators.
+func TestCodegenLowered(t *testing.T) {
+	k := NewKernel("mixed", 3)
+	k.AddLoop(&Loop{Kind: LoopIota, Dom: "d", Ext: []int{8}, ExtRef: 0})
+	k.AddLoop(&Loop{Kind: LoopElem, Dom: "d", Ext: []int{8}, ExtRef: 0,
+		Stmts: []Stmt{{Kind: KStore, Param: 1, E: Binary(OpMul, Load(0), Load(0))}}})
+	k.AddLoop(&Loop{Kind: LoopAxisReduce, Dom: "d", Ext: []int{8},
+		ExtRef: 0, X: 1, Y: 2, Red: RedSum})
+	c := Compile(k)
+	p := Codegen(c)
+	if got := p.Lowered(); got != 1 {
+		t.Fatalf("Lowered() = %d, want 1 (the element loop only)", got)
+	}
+	c.AttachProgram(p)
+	if !c.HasCodegen() {
+		t.Fatal("HasCodegen false with a lowered loop")
+	}
+}

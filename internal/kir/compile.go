@@ -65,6 +65,10 @@ type Compiled struct {
 	// NOps is the total instruction count, the input to the compile-time
 	// cost model (Fig. 13).
 	NOps int
+	// prog is the optional second-stage (codegen-backend) lowering; see
+	// codegen.go. Attached after Compile by the runtime's program cache,
+	// nil when the kernel runs fully interpreted.
+	prog *CodegenProgram
 }
 
 // Compile runs no optimizations; callers normally pass the result of

@@ -115,6 +115,13 @@ type Scratch struct {
 	racc   []float64
 	states []slotState
 	locals map[int]Buffer
+
+	// Codegen-backend state (codegen.go / block.go): the lane buffers and
+	// streaming cursors of the closure backend, and the carried
+	// accumulators of the column-blocked GEMV.
+	cgs    *cgState
+	gemv64 []float64
+	gemv32 []float32
 }
 
 // NewScratch allocates evaluator scratch state.
@@ -179,14 +186,27 @@ func (c *Compiled) Execute(pa *PointArgs) {
 		pa.Bind[p].hasGlobal = true
 		pa.Bind[p].Acc = Accessor{Data: buf, Strides: strides}
 	}
+	// The codegen program, when attached, takes each loop it lowered; a
+	// lowered loop whose runtime guard declines (dtype mismatch against a
+	// hand-built binding, unprofitable GEMV layout) falls back to the
+	// interpreter for that execution. Both backends are bit-identical.
+	prog := c.prog
 	for i := range c.loops {
 		l := &c.loops[i]
 		switch l.kind {
 		case LoopElem:
+			if prog != nil {
+				if g := &prog.loops[i]; g.elem != nil && c.execElemCg(l, g, pa) {
+					continue
+				}
+			}
 			c.execElem(l, pa)
 		case LoopSpMV:
 			c.execSpMV(l, pa)
 		case LoopGEMV:
+			if prog != nil && prog.loops[i].gemv && c.execGEMVCg(l, pa) {
+				continue
+			}
 			c.execGEMV(l, pa)
 		case LoopRandom:
 			c.execRandom(l, pa)

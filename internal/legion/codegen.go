@@ -1,0 +1,123 @@
+package legion
+
+import (
+	"sync/atomic"
+
+	"diffuse/internal/kir"
+)
+
+// The runtime side of the compiled-kernel (codegen) backend: a
+// fingerprint-keyed cache of kir.CodegenProgram attached to every kernel
+// compiled in ModeReal. Programs capture only lowering-time structure, so
+// one program serves every Compiled whose kernel fingerprint matches —
+// unfused streams mint a fresh kernel object per task every iteration
+// and still hit this cache (the same motivation as the task-plan cache,
+// which is why both share the clear-on-overflow bound). Unlike task
+// plans, programs hold no region references, so the free-epoch
+// invalidation that guards plans is irrelevant here: a program outlives
+// any store.
+
+// CodegenMode toggles the compiled-kernel backend. The zero value is on —
+// codegen is the default tier, the interpreter the reference oracle and
+// fallback — mirroring WavefrontMode.
+type CodegenMode int
+
+// Codegen modes.
+const (
+	// CodegenOn lowers every ModeReal kernel through the closure backend
+	// (loops the backend cannot take stay on the interpreter per-loop).
+	CodegenOn CodegenMode = iota
+	// CodegenOff runs every kernel fully interpreted — the bit-identical
+	// reference configuration benchmarks compare against.
+	CodegenOff
+)
+
+// maxProgs bounds the program cache exactly like maxPlans bounds the
+// plan cache: cleared wholesale on overflow rather than LRU-tracked,
+// since steady-state working sets are tiny and an overflow means an
+// unbounded-kernel-shape workload where any eviction policy thrashes.
+const maxProgs = 2048
+
+// CodegenStats is a snapshot of the backend's activity counters.
+type CodegenStats struct {
+	// TasksCompiled / TasksInterpreted count index-task executions whose
+	// kernel did / did not have at least one codegen-lowered loop.
+	TasksCompiled    int64
+	TasksInterpreted int64
+	// CacheHits / CacheMisses count program-cache lookups by kernel
+	// fingerprint (misses include first-ever compilations).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// codegenCounters holds the live counters. Cache hits/misses are bumped
+// under rt.mu (the compile path), task counts under execMu (the three
+// executor paths); atomics keep the snapshot getter lock-free and the
+// two lock domains independent.
+type codegenCounters struct {
+	tasksCompiled    atomic.Int64
+	tasksInterpreted atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+}
+
+// SetCodegen selects the execution backend. Turning codegen off also
+// detaches any programs already installed on cached kernels, so a
+// runtime toggled mid-stream genuinely reverts to the interpreter.
+func (rt *Runtime) SetCodegen(m CodegenMode) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.codegen = m
+	if m == CodegenOff {
+		for _, c := range rt.compiled {
+			c.AttachProgram(nil)
+		}
+	}
+}
+
+// Codegen returns the active backend mode.
+func (rt *Runtime) Codegen() CodegenMode {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.codegen
+}
+
+// CodegenStatsSnapshot returns the backend's activity counters.
+func (rt *Runtime) CodegenStatsSnapshot() CodegenStats {
+	return CodegenStats{
+		TasksCompiled:    rt.cgStats.tasksCompiled.Load(),
+		TasksInterpreted: rt.cgStats.tasksInterpreted.Load(),
+		CacheHits:        rt.cgStats.cacheHits.Load(),
+		CacheMisses:      rt.cgStats.cacheMisses.Load(),
+	}
+}
+
+// attachProgramLocked installs the codegen program for a freshly
+// compiled kernel, minting one on first sight of the fingerprint.
+// Callers hold rt.mu.
+func (rt *Runtime) attachProgramLocked(c *kir.Compiled) {
+	fp := c.Kernel.Fingerprint()
+	if p, ok := rt.progs[fp]; ok {
+		rt.cgStats.cacheHits.Add(1)
+		c.AttachProgram(p)
+		return
+	}
+	rt.cgStats.cacheMisses.Add(1)
+	if len(rt.progs) >= maxProgs {
+		clear(rt.progs)
+	}
+	p := kir.Codegen(c)
+	rt.progs[fp] = p
+	c.AttachProgram(p)
+}
+
+// countBackend records which backend an index task's kernel executes on.
+// Called once per index task by each executor path (chunked, per-point,
+// sharded), under execMu.
+func (rt *Runtime) countBackend(c *kir.Compiled) {
+	if c.HasCodegen() {
+		rt.cgStats.tasksCompiled.Add(1)
+	} else {
+		rt.cgStats.tasksInterpreted.Add(1)
+	}
+}

@@ -28,6 +28,7 @@ func (rt *Runtime) executePerPoint(t *ir.Task) {
 		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
 	}
 	comp := rt.Compiled(t.Kernel)
+	rt.countBackend(comp)
 	colors := t.Launch.Points()
 	n := len(colors)
 

@@ -252,6 +252,9 @@ type taskPlan struct {
 	redArgs  []int        // arg indices with Reduce privilege
 	partials []kir.Buffer // parallel to redArgs: per-point partial cells (typed at the destination dtype)
 	perPoint float64      // estimated seconds per point task (host model)
+	// backend records whether the kernel had codegen-lowered loops when
+	// the plan was built (observability: diffuse-trace and tests).
+	backend bool
 	// epoch is the runtime's free-epoch the plan's regions were resolved
 	// at; FreeStore bumps the epoch (O(1) — it must not scan the cache),
 	// and a plan whose epoch lags re-resolves every region before use.
@@ -373,7 +376,7 @@ func intsEq(a, b []int) bool {
 }
 
 func (rt *Runtime) buildPlan(t *ir.Task, comp *kir.Compiled) *taskPlan {
-	p := &taskPlan{kernel: t.Kernel, launch: t.Launch, colors: t.Launch.Points(), epoch: rt.freeEpoch}
+	p := &taskPlan{kernel: t.Kernel, launch: t.Launch, colors: t.Launch.Points(), epoch: rt.freeEpoch, backend: comp.HasCodegen()}
 	p.args = make([]argPlan, len(t.Args))
 	for i, a := range t.Args {
 		ap := &p.args[i]
@@ -581,6 +584,7 @@ func (rt *Runtime) executeChunked(t *ir.Task) {
 		panic(fmt.Sprintf("legion: task %s has no kernel", t.Name))
 	}
 	comp := rt.Compiled(t.Kernel)
+	rt.countBackend(comp)
 	plan := rt.planFor(t, comp)
 	colors := plan.colors
 	n := len(colors)

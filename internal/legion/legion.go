@@ -110,9 +110,15 @@ type Runtime struct {
 	writers map[ir.StoreID][]ir.Partition
 	pendRed map[ir.StoreID]ir.ReduceOp // stores with uncombined reductions
 
-	mu       sync.Mutex // guards regions and compiled
+	mu       sync.Mutex // guards regions, compiled, progs, and codegen
 	regions  map[ir.StoreID]*region
 	compiled map[*kir.Kernel]*kir.Compiled
+
+	// Codegen-backend state (see codegen.go): the active mode, the
+	// fingerprint-keyed program cache, and the activity counters.
+	codegen CodegenMode
+	progs   map[string]*kir.CodegenProgram
+	cgStats codegenCounters
 
 	workers int
 	scratch sync.Pool // per-point-baseline scratch recycling
@@ -167,6 +173,7 @@ func New(mode Mode, cfg machine.Config) *Runtime {
 		writers:  map[ir.StoreID][]ir.Partition{},
 		pendRed:  map[ir.StoreID]ir.ReduceOp{},
 		compiled: map[*kir.Kernel]*kir.Compiled{},
+		progs:    map[string]*kir.CodegenProgram{},
 		workers:  runtime.GOMAXPROCS(0),
 	}
 	rt.scratch.New = func() any { return kir.NewScratch() }
@@ -197,6 +204,11 @@ func (rt *Runtime) Compiled(k *kir.Kernel) *kir.Compiled {
 		return c
 	}
 	c := kir.Compile(k)
+	// Second compilation stage: in ModeReal with codegen on, attach the
+	// closure-backend program (cached by kernel fingerprint; codegen.go).
+	if rt.mode == ModeReal && rt.codegen == CodegenOn {
+		rt.attachProgramLocked(c)
+	}
 	rt.compiled[k] = c
 	return c
 }

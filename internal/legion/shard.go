@@ -588,6 +588,7 @@ func (rt *Runtime) drainShardGroupLocked() {
 		for i := range g.entries {
 			e := &g.entries[i]
 			e.comp = rt.Compiled(e.task.Kernel)
+			rt.countBackend(e.comp)
 			e.plan = rt.planFor(e.task, e.comp)
 			e.plan.resetPartials(e.task, len(e.plan.colors))
 		}
