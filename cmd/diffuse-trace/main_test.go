@@ -47,3 +47,54 @@ func TestPrintStatsCodegenCountersMove(t *testing.T) {
 		t.Fatalf("-interp run reports zero interpreted tasks:\n%s", interp)
 	}
 }
+
+// TestPrintStatsCalibrationTable: with feedback on, the -stats dump must
+// show the cost-calibration section with per-fingerprint rows carrying
+// measured next to predicted ns/point and a nonzero calibration hit count;
+// with -nofeedback it must report the layer disabled with no classes.
+func TestPrintStatsCalibrationTable(t *testing.T) {
+	run := func(fb legion.FeedbackMode, iters int) string {
+		cfg := core.DefaultConfig(2)
+		cfg.Feedback = fb
+		rt := core.New(cfg)
+		ctx := cunum.NewContext(rt)
+		iterate := buildApp(ctx, "blackscholes")
+		iterate(iters)
+		ctx.Flush()
+		var buf bytes.Buffer
+		printStats(&buf, rt, 0)
+		return buf.String()
+	}
+
+	// Enough iterations to pass the calibration warmup so estimates are
+	// answered from measurement (hits) rather than the static prior.
+	on := run(legion.FeedbackOn, 8)
+	if !strings.Contains(on, "cost-calibration stats (feedback=true):") {
+		t.Fatalf("no calibration section in -stats output:\n%s", on)
+	}
+	if !regexp.MustCompile(`classes=[1-9]`).MatchString(on) {
+		t.Fatalf("feedback run registered no calibration classes:\n%s", on)
+	}
+	if !regexp.MustCompile(`samples=[1-9]`).MatchString(on) {
+		t.Fatalf("feedback run recorded no timed samples:\n%s", on)
+	}
+	if !regexp.MustCompile(`calibrationHits=[1-9]`).MatchString(on) {
+		t.Fatalf("feedback run answered no decisions from measurement:\n%s", on)
+	}
+	if !strings.Contains(on, "fingerprint") || !strings.Contains(on, "measured") {
+		t.Fatalf("calibration table header missing:\n%s", on)
+	}
+	// At least one row must have a measured estimate printed as a number.
+	rowRe := regexp.MustCompile(`(?m)^  \S+\s+f64\s+\S+\s+\d+\s+[\d.]+\s+[\d.]+\s+[1-9]\d*\s+\d+$`)
+	if !rowRe.MatchString(on) {
+		t.Fatalf("no calibration row with a measured estimate:\n%s", on)
+	}
+
+	off := run(legion.FeedbackOff, 2)
+	if !strings.Contains(off, "cost-calibration stats (feedback=false):") {
+		t.Fatalf("-nofeedback run not reported as disabled:\n%s", off)
+	}
+	if !strings.Contains(off, "classes=0 samples=0 calibrationHits=0") {
+		t.Fatalf("-nofeedback run still calibrated:\n%s", off)
+	}
+}

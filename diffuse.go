@@ -79,6 +79,18 @@ type CodegenMode = legion.CodegenMode
 // rt.Legion().CodegenStatsSnapshot().
 type CodegenStats = legion.CodegenStats
 
+// FeedbackMode selects feedback-directed scheduling (Config.Feedback).
+type FeedbackMode = legion.FeedbackMode
+
+// CalibrationStats aggregates online cost-calibration activity (classes,
+// timed samples, calibrated-estimate hits, interpreter reroutes); read it
+// via rt.Legion().CalibrationStatsOf().
+type CalibrationStats = legion.CalibrationStats
+
+// CalibrationEntry is one calibration class's measured-vs-predicted
+// state; rt.Legion().CalibrationSnapshot() returns the full table.
+type CalibrationEntry = legion.CalibrationEntry
+
 // Real-mode executor policies.
 const (
 	// ExecChunked (default) schedules point tasks on a persistent,
@@ -111,6 +123,17 @@ const (
 	// bit-identical reference backend the benchmark's codegen rows
 	// measure against.
 	CodegenOff = legion.CodegenOff
+)
+
+// Feedback-directed scheduling modes (Config.Feedback; ModeReal only).
+const (
+	// FeedbackOn (default) calibrates chunk sizing, inline routing, the
+	// backend pick, and the wavefront dispatch order from sampled online
+	// timings. Results stay bit-identical; only schedule shape moves.
+	FeedbackOn = legion.FeedbackOn
+	// FeedbackOff prices every schedule decision from the static machine
+	// model — the deterministic-schedule switch.
+	FeedbackOff = legion.FeedbackOff
 )
 
 // Execution modes.

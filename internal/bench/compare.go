@@ -33,6 +33,7 @@ type compareKey struct {
 	Ranks     int
 	Wavefront bool
 	Codegen   bool
+	Feedback  bool
 	DType     string
 	Fused     bool
 }
@@ -40,12 +41,12 @@ type compareKey struct {
 func keyOf(r RealResult) compareKey {
 	return compareKey{App: r.App, Size: r.Size, N: r.N, Shards: r.Shards,
 		Ranks: r.Ranks, Wavefront: r.Wavefront, Codegen: r.Codegen,
-		DType: r.DType, Fused: r.Fused}
+		Feedback: r.Feedback, DType: r.DType, Fused: r.Fused}
 }
 
 func (k compareKey) String() string {
-	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/cg=%v/%s/fused=%v",
-		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.Codegen, k.DType, k.Fused)
+	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/cg=%v/fb=%v/%s/fused=%v",
+		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.Codegen, k.Feedback, k.DType, k.Fused)
 }
 
 // CompareRealSuites validates both documents against the current schema,
@@ -126,6 +127,13 @@ func CompareRealSuites(freshData, committedData []byte, tol float64, w io.Writer
 		// the compiled tier stopped engaging — CodegenOff restoring the
 		// interpreter path shows up here as a ratio near 1.
 		check("codegen-vs-interp", fr.CodegenSpeedupVsInterp, cr.CodegenSpeedupVsInterp, 2*tol)
+		// The feedback ratio likewise divides chunked times from two rows
+		// measured back to back (the static-schedule twin immediately
+		// precedes its feedback row), so it gets the doubled cross-row
+		// floor: a collapse means calibration stopped improving the
+		// schedule — FeedbackOff restoring the static model shows up here
+		// as a ratio near 1.
+		check("feedback-vs-static", fr.FeedbackSpeedupVsStatic, cr.FeedbackSpeedupVsStatic, 2*tol)
 		// The rank ratio divides a two-process measurement by a one-process
 		// one, so it moves with the runner's core count and load as well as
 		// with the clock — triple the floor: the gate still catches a

@@ -40,8 +40,13 @@ import (
 // added the codegen column (the kernel execution backend: the compiled-
 // closure tier vs the register interpreter, bit-identical by the
 // differential harness) and the codegen-vs-interp ratio on codegen rows
-// with an interpreter twin.
-const RealSchema = "diffuse-bench-real/v6"
+// with an interpreter twin. v7 added the feedback column (feedback-
+// directed scheduling: online cost calibration driving chunk sizing,
+// inline routing, the backend pick, and wavefront dispatch order, vs the
+// static machine model) and the feedback-vs-static ratio on feedback rows
+// with a static-schedule twin; gomaxprocs is now stamped from the value
+// in effect while measuring, not at header construction.
+const RealSchema = "diffuse-bench-real/v7"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -61,10 +66,14 @@ type RealResult struct {
 	// Codegen reports the kernel execution backend: true is the compiled-
 	// closure tier default, false the register-interpreter baseline (the
 	// bit-identical oracle the differential harness holds the tier to).
-	Codegen bool   `json:"codegen"`
-	DType   string `json:"dtype"` // element type of the app's arrays (f64/f32)
-	Fused   bool   `json:"fused"` // Diffuse fusion enabled
-	Iters   int    `json:"iters"` // timed iterations
+	Codegen bool `json:"codegen"`
+	// Feedback reports feedback-directed scheduling: true is the online
+	// cost-calibration default, false the static-machine-model baseline
+	// (bit-identical results either way; only schedule shape differs).
+	Feedback bool   `json:"feedback"`
+	DType    string `json:"dtype"` // element type of the app's arrays (f64/f32)
+	Fused    bool   `json:"fused"` // Diffuse fusion enabled
+	Iters    int    `json:"iters"` // timed iterations
 
 	ChunkedNsPerIter  float64 `json:"chunked_ns_per_iter"`
 	PerPointNsPerIter float64 `json:"perpoint_ns_per_iter"`
@@ -104,6 +113,13 @@ type RealResult struct {
 	// app/size, >1 when the DAG drain wins.
 	WavefrontSpeedupVsBarrier float64 `json:"wavefront_speedup_vs_barrier,omitempty"`
 
+	// FeedbackSpeedupVsStatic (feedback rows with a static-schedule twin
+	// only) is the twin's chunked ns/iter divided by this row's — the
+	// wall-clock value of calibrating the schedule from measured costs on
+	// this app/size, >1 when feedback wins. Both rows compute bit-identical
+	// results, so the ratio prices pure scheduling quality.
+	FeedbackSpeedupVsStatic float64 `json:"feedback_speedup_vs_static,omitempty"`
+
 	TasksPerIter float64 `json:"tasks_per_iter"` // index tasks reaching legion
 	// FusionRatio is the fraction of submitted tasks folded into fusions
 	// during the timed window.
@@ -132,6 +148,7 @@ type realCase struct {
 	ranks   int  // rank subprocess count (0 = in-process; forces shards = ranks)
 	barrier bool // drain with the v1 stage barriers instead of the wavefront DAG
 	interp  bool // run kernels on the interpreter instead of the codegen tier
+	nofb    bool // schedule from the static cost model (feedback off)
 	warmup  int
 	iters   int
 	reps    int
@@ -213,10 +230,22 @@ func fullCases() []realCase {
 	// f64 one does not), so it is where halving the element width
 	// shows up as wall-clock.
 	return []realCase{
-		{app: "CG", size: "small", n: 16, warmup: 4, iters: 120, reps: 3, make: mkCG},
+		// CG and Jacobi "small" run a static-schedule twin before the
+		// feedback row: fine-grained iterative solvers are where the static
+		// model's routing errors cost whole pool dispatches per task, so
+		// their feedback-vs-static ratio prices the calibration layer where
+		// it matters most.
+		// Twin pairs run longer windows and more reps than their size peers:
+		// the ratio divides two separately-measured rows, and on a host
+		// where GC pacing or scheduler phase can swing a short window ±50%,
+		// min-of-3 over short windows turns that into ratio noise the gate
+		// would read as a calibration collapse.
+		{app: "CG", size: "small", n: 16, nofb: true, warmup: 4, iters: 240, reps: 5, make: mkCG},
+		{app: "CG", size: "small", n: 16, warmup: 4, iters: 240, reps: 5, make: mkCG},
 		{app: "CG", size: "medium", n: 48, warmup: 4, iters: 60, reps: 3, make: mkCG},
 		{app: "CG", size: "large", n: 144, warmup: 3, iters: 15, reps: 2, make: mkCG},
-		{app: "Jacobi", size: "small", n: 64, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
+		{app: "Jacobi", size: "small", n: 64, nofb: true, warmup: 4, iters: 300, reps: 5, make: mkJacobi},
+		{app: "Jacobi", size: "small", n: 64, warmup: 4, iters: 300, reps: 5, make: mkJacobi},
 		{app: "Jacobi", size: "medium", n: 192, warmup: 3, iters: 80, reps: 3, make: mkJacobi},
 		{app: "Jacobi", size: "large", n: 512, warmup: 3, iters: 20, reps: 2, make: mkJacobi},
 		{app: "Jacobi", size: "small", n: 64, dtype: cunum.F32, warmup: 4, iters: 200, reps: 3, make: mkJacobi},
@@ -285,8 +314,17 @@ func tinyCases() []realCase {
 	// that a single scheduler hiccup cannot move a ratio past the gate's
 	// tolerance.
 	return []realCase{
-		{app: "CG", size: "tiny", n: 24, warmup: 1, iters: 6, reps: 3, make: mkCG},
-		{app: "Jacobi", size: "tiny", n: 64, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
+		// CG and Jacobi run a static-schedule twin first so the feedback
+		// rows carry a feedback-vs-static ratio the gate can watch: a
+		// collapse there means calibration stopped engaging (or started
+		// making the schedule worse than the static model).
+		// The twin pairs get longer windows and extra reps than the other
+		// tiny rows: their cross-row ratio is gated, and short windows on a
+		// noisy host swing far more than the calibration effect they price.
+		{app: "CG", size: "tiny", n: 24, nofb: true, warmup: 2, iters: 40, reps: 5, make: mkCG},
+		{app: "CG", size: "tiny", n: 24, warmup: 2, iters: 40, reps: 5, make: mkCG},
+		{app: "Jacobi", size: "tiny", n: 64, nofb: true, warmup: 2, iters: 60, reps: 5, make: mkJacobi},
+		{app: "Jacobi", size: "tiny", n: 64, warmup: 2, iters: 60, reps: 5, make: mkJacobi},
 		{app: "Jacobi", size: "tiny", n: 64, dtype: cunum.F32, warmup: 1, iters: 10, reps: 3, make: mkJacobi},
 		// Black-Scholes runs its interpreter twin first so the codegen rows
 		// carry a codegen-vs-interp ratio the gate can watch: a collapse
@@ -311,8 +349,9 @@ func tinyCases() []realCase {
 }
 
 // realContext builds a ModeReal cunum context with the given fusion,
-// executor, sharding, drain-scheduler, and kernel-backend settings.
-func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks int, barrier, interp bool) *cunum.Context {
+// executor, sharding, drain-scheduler, kernel-backend, and feedback
+// settings.
+func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks int, barrier, interp, nofb bool) *cunum.Context {
 	cfg := core.DefaultConfig(procs)
 	cfg.Mode = legion.ModeReal
 	cfg.Machine = machine.DefaultA100(procs)
@@ -326,13 +365,16 @@ func realContext(procs int, fused bool, policy legion.ExecPolicy, shards, ranks 
 	if interp {
 		cfg.Codegen = legion.CodegenOff
 	}
+	if nofb {
+		cfg.Feedback = legion.FeedbackOff
+	}
 	return cunum.NewContext(core.New(cfg))
 }
 
 // measureCase runs one configuration on a fresh context and returns
 // wall-clock ns/iter plus the task accounting of the timed window.
 func measureCase(c realCase, procs int, fused bool, policy legion.ExecPolicy) (nsPerIter, tasksPerIter, fusionRatio float64) {
-	ctx := realContext(procs, fused, policy, c.shards, c.ranks, c.barrier, c.interp)
+	ctx := realContext(procs, fused, policy, c.shards, c.ranks, c.barrier, c.interp, c.nofb)
 	defer func() {
 		// Distributed rows launch rank subprocesses; a failed shutdown is a
 		// failed measurement, not a skippable cleanup.
@@ -370,24 +412,25 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 		return nil, fmt.Errorf("bench: unknown real-suite preset %q", preset)
 	}
 	suite := &RealSuite{
-		Schema:     RealSchema,
-		Command:    fmt.Sprintf("go run ./cmd/diffuse-bench -real -realpreset %s -realprocs %d", preset, procs),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Procs:      procs,
-		Preset:     preset,
+		Schema:  RealSchema,
+		Command: fmt.Sprintf("go run ./cmd/diffuse-bench -real -realpreset %s -realprocs %d", preset, procs),
+		Procs:   procs,
+		Preset:  preset,
 	}
 	fmt.Fprintf(w, "== real-mode executor suite (preset %s, %d-point launches, GOMAXPROCS=%d) ==\n",
-		preset, procs, suite.GoMaxProcs)
-	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %3s %3s %6s %14s %14s %8s %8s %8s %8s %8s %9s %10s %7s\n",
-		"App", "Size", "N", "DType", "Sh", "Rk", "WF", "CG", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "vs 1rk", "vs interp", "Tasks/Iter", "Fusion")
+		preset, procs, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-14s %-7s %6s %-5s %3s %3s %3s %3s %3s %6s %14s %14s %8s %8s %8s %8s %8s %9s %8s %10s %7s\n",
+		"App", "Size", "N", "DType", "Sh", "Rk", "WF", "CG", "FB", "Fused", "Chunked(ns)", "PerPoint(ns)", "Speedup", "vs f64", "vs 1sh", "vs barr", "vs 1rk", "vs interp", "vs stat", "Tasks/Iter", "Fusion")
 	// chunked ns/iter of the f64 rows, keyed for the f32-vs-f64 ratio; of
 	// the shards=1 rows, keyed for the shards-vs-1 ratio; of the
-	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio; and
-	// of the interpreter twins, keyed for the codegen-vs-interp ratio.
+	// stage-barrier twins, keyed for the wavefront-vs-barrier ratio; of
+	// the interpreter twins, keyed for the codegen-vs-interp ratio; and of
+	// the static-schedule twins, keyed for the feedback-vs-static ratio.
 	f64Chunked := map[string]float64{}
 	unshardedChunked := map[string]float64{}
 	barrierChunked := map[string]float64{}
 	interpChunked := map[string]float64{}
+	staticChunked := map[string]float64{}
 	for _, c := range cases {
 		for _, fused := range []bool{true, false} {
 			var chunkNs, ppNs, tasks, ratio float64
@@ -429,6 +472,7 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				Ranks:     c.ranks,
 				Wavefront: !c.barrier,
 				Codegen:   !c.interp,
+				Feedback:  !c.nofb,
 				DType:     c.dtype.String(), Fused: fused,
 				Iters:            c.iters,
 				ChunkedNsPerIter: chunkNs, PerPointNsPerIter: ppNs,
@@ -490,12 +534,26 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				res.CodegenSpeedupVsInterp = base / chunkNs
 				vsInterp = fmt.Sprintf("%7.2fx", res.CodegenSpeedupVsInterp)
 			}
+			fbKey := fmt.Sprintf("%s/%s/%d/%s/%d/%d/%v/%v", c.app, c.size, c.n, c.dtype, shards, c.ranks, fused, c.interp)
+			vsStatic := ""
+			if c.nofb {
+				staticChunked[fbKey] = chunkNs
+			} else if base, ok := staticChunked[fbKey]; ok && chunkNs > 0 {
+				// The static-schedule twin runs earlier in the case list.
+				res.FeedbackSpeedupVsStatic = base / chunkNs
+				vsStatic = fmt.Sprintf("%7.2fx", res.FeedbackSpeedupVsStatic)
+			}
 			suite.Results = append(suite.Results, res)
-			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3d %3v %3s %6v %14.0f %14.0f %7.2fx %8s %8s %8s %8s %9s %10.1f %6.0f%%\n",
-				res.App, res.Size, res.N, res.DType, res.Shards, res.Ranks, boolMark(res.Wavefront), cgMark(res.Codegen), res.Fused, res.ChunkedNsPerIter,
-				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, vsInterp, res.TasksPerIter, res.FusionRatio*100)
+			fmt.Fprintf(w, "%-14s %-7s %6d %-5s %3d %3d %3v %3s %3s %6v %14.0f %14.0f %7.2fx %8s %8s %8s %8s %9s %8s %10.1f %6.0f%%\n",
+				res.App, res.Size, res.N, res.DType, res.Shards, res.Ranks, boolMark(res.Wavefront), cgMark(res.Codegen), fbMark(res.Feedback), res.Fused, res.ChunkedNsPerIter,
+				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, vsInterp, vsStatic, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
+	// Satellite of the measurement contract: gomaxprocs records the value
+	// in effect *while* measuring, so a harness that adjusts parallelism
+	// after building the suite header can never stamp a stale count into
+	// the committed trajectory (the -compare gate keys on this field).
+	suite.GoMaxProcs = runtime.GOMAXPROCS(0)
 	return suite, nil
 }
 
@@ -524,15 +582,24 @@ func cgMark(b bool) string {
 	return "--"
 }
 
+// fbMark renders a compact feedback-mode marker for the progress table.
+func fbMark(b bool) string {
+	if b {
+		return "fb"
+	}
+	return "--"
+}
+
 // realResultKeys are the per-row fields the schema gate requires
 // ("f32_speedup_vs_f64", "shard_speedup_vs_1", "rank_speedup_vs_1",
-// "wavefront_speedup_vs_barrier", and "codegen_speedup_vs_interp" are
-// optional: they only appear on f32, shards>1, ranks>0, barrier-twinned
-// wavefront, and interpreter-twinned codegen rows respectively).
+// "wavefront_speedup_vs_barrier", "codegen_speedup_vs_interp", and
+// "feedback_speedup_vs_static" are optional: they only appear on f32,
+// shards>1, ranks>0, barrier-twinned wavefront, interpreter-twinned
+// codegen, and static-twinned feedback rows respectively).
 var realResultKeys = []string{
 	"app", "size", "n", "procs", "shards", "ranks", "wavefront", "codegen",
-	"dtype", "fused", "iters", "chunked_ns_per_iter", "perpoint_ns_per_iter",
-	"speedup", "tasks_per_iter", "fusion_ratio",
+	"feedback", "dtype", "fused", "iters", "chunked_ns_per_iter",
+	"perpoint_ns_per_iter", "speedup", "tasks_per_iter", "fusion_ratio",
 }
 
 // ValidateRealSuite checks a BENCH_real.json payload against the current
@@ -585,6 +652,9 @@ func ValidateRealSuite(data []byte) error {
 		}
 		if r.CodegenSpeedupVsInterp != 0 && !r.Codegen {
 			return fmt.Errorf("bench: result %d is an interpreter row carrying a codegen-vs-interp ratio (only codegen rows are measured against a twin)", i)
+		}
+		if r.FeedbackSpeedupVsStatic != 0 && !r.Feedback {
+			return fmt.Errorf("bench: result %d is a static-schedule row carrying a feedback-vs-static ratio (only feedback rows are measured against a twin)", i)
 		}
 		if r.DType != "f64" && r.DType != "f32" {
 			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)

@@ -78,6 +78,17 @@ type Config struct {
 	// are bit-identical either way; only dispatch cost changes. In a
 	// distributed runtime the mode propagates to every rank subprocess.
 	Codegen legion.CodegenMode
+	// Feedback selects feedback-directed scheduling (ModeReal): with
+	// legion.FeedbackOn (the zero value) the executor times a sampled
+	// subset of chunk and shard-unit executions and feeds the measured
+	// ns/point back into chunk sizing, inline routing, the codegen-vs-
+	// interpreter backend pick, and the wavefront dispatch order.
+	// legion.FeedbackOff prices every decision from the static machine
+	// model — the deterministic-schedule switch bit-identity tests and
+	// A/B benchmarks use. Results are bit-identical either way: feedback
+	// moves only schedule shape, never point decomposition or fold order.
+	// In a distributed runtime the mode propagates to every rank.
+	Feedback legion.FeedbackMode
 
 	// Enabled turns the fusion layer on. When false, Diffuse is a
 	// pass-through and the system behaves like standard cuPyNumeric /
@@ -177,12 +188,17 @@ func New(cfg Config) *Runtime {
 	r.leg.SetShards(cfg.Shards)
 	r.leg.SetWavefront(cfg.Wavefront)
 	r.leg.SetCodegen(cfg.Codegen)
+	r.leg.SetFeedback(cfg.Feedback)
 	if cfg.Ranks > 1 {
-		// Ranks execute the kernels, so the backend toggle must reach
-		// them; rank.go reads it back in MaybeRankMain's runtime setup.
+		// Ranks execute the kernels, so the backend and feedback toggles
+		// must reach them; rank.go reads them back in MaybeRankMain's
+		// runtime setup.
 		var extraEnv []string
 		if cfg.Codegen == legion.CodegenOff {
 			extraEnv = append(extraEnv, dist.EnvCodegen+"=off")
+		}
+		if cfg.Feedback == legion.FeedbackOff {
+			extraEnv = append(extraEnv, dist.EnvFeedback+"=off")
 		}
 		par, err := dist.Launch(cfg.Ranks, extraEnv...)
 		if err != nil {

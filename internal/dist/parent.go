@@ -36,6 +36,7 @@ type Parent struct {
 	sentStores map[ir.StoreID]bool
 	kernelRefs map[*kir.Kernel]int64
 	nextKernel int64
+	wbuf       []byte // reusable broadcast frame buffer (execMu-serialized)
 
 	mu        sync.Mutex
 	closed    bool
@@ -246,8 +247,17 @@ func (p *Parent) checkHealthy() {
 // replication invariant.
 func (p *Parent) broadcast(tag uint64, payload []byte) {
 	p.checkHealthy()
+	// One frame encode (into the reusable buffer) serves every rank, and
+	// each rank gets header plus payload in a single write — broadcast
+	// runs under the legion execution lock, so the buffer needs no lock
+	// of its own.
+	buf, err := appendFrame(p.wbuf[:0], tag, payload)
+	p.wbuf = buf[:0]
+	if err != nil {
+		panic(fmt.Errorf("dist: %w", err))
+	}
 	for r, conn := range p.conns {
-		if err := writeFrame(conn, tag, payload); err != nil {
+		if _, err := conn.Write(buf); err != nil {
 			if cerr := p.waitChildErr(); cerr != nil {
 				panic(cerr)
 			}

@@ -48,6 +48,11 @@ const (
 	// a bit-identity comparison against the in-process oracle would mix
 	// backends.
 	EnvCodegen = "DIFFUSE_CODEGEN"
+	// EnvFeedback carries the parent's feedback-directed-scheduling
+	// selection to the ranks ("off" disables online cost calibration;
+	// anything else leaves the default on). Results are bit-identical
+	// either way — this only pins schedule shape for deterministic runs.
+	EnvFeedback = "DIFFUSE_FEEDBACK"
 )
 
 // Control-stream message types (the tag field of control frames). The
@@ -92,6 +97,22 @@ func writeFrame(w io.Writer, tag uint64, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// appendFrame appends one framed message (header plus payload) to buf and
+// returns the extended slice — the buffer-reusing variant of writeFrame
+// for hot send paths: the caller keeps the returned slice and hands the
+// whole frame to one conn.Write, so a steady-state send costs zero
+// allocations and one syscall instead of two.
+func appendFrame(buf []byte, tag uint64, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrame {
+		return buf, fmt.Errorf("dist: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], tag)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
 }
 
 // readFrame receives one framed message.

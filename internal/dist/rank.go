@@ -97,6 +97,9 @@ func runRank() (err error) {
 	if os.Getenv(EnvCodegen) == "off" {
 		rt.SetCodegen(legion.CodegenOff)
 	}
+	if os.Getenv(EnvFeedback) == "off" {
+		rt.SetFeedback(legion.FeedbackOff)
+	}
 	rt.SetDistributed(me, ranks, tx)
 
 	rs := &rankState{

@@ -39,7 +39,8 @@ type peerLink struct {
 	rank int
 	conn net.Conn
 
-	wmu sync.Mutex // serializes writeFrame
+	wmu  sync.Mutex // serializes sends
+	wbuf []byte     // reusable frame-encode buffer (guarded by wmu)
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -76,7 +77,15 @@ func (l *peerLink) read() {
 func (l *peerLink) send(tag uint64, data []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
-	if err := writeFrame(l.conn, tag, data); err != nil {
+	// Encode into the reusable per-peer buffer and write the whole frame
+	// in one syscall: at smoke sizes (n=256) per-frame allocation and the
+	// separate header write dominate the halo payloads themselves.
+	buf, err := appendFrame(l.wbuf[:0], tag, data)
+	l.wbuf = buf[:0]
+	if err != nil {
+		return fmt.Errorf("send to rank %d: %w", l.rank, err)
+	}
+	if _, err := l.conn.Write(buf); err != nil {
 		return fmt.Errorf("send to rank %d: %w", l.rank, err)
 	}
 	return nil

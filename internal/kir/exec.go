@@ -155,7 +155,15 @@ func (s *Scratch) grow(nregs, nslots, ndims, nred int) {
 // Execute runs the compiled kernel for one point task. Reduction
 // destinations must be bound to cells pre-initialized to the reduction
 // identity; Execute combines its partial results into them.
-func (c *Compiled) Execute(pa *PointArgs) {
+func (c *Compiled) Execute(pa *PointArgs) { c.executeWith(c.prog, pa) }
+
+// ExecuteInterp runs the compiled kernel through the interpreter even
+// when a codegen program is attached — the feedback layer's backend
+// probe, which must not mutate shared Compiled state (detaching the
+// program races with concurrent pool workers). Bit-identical to Execute.
+func (c *Compiled) ExecuteInterp(pa *PointArgs) { c.executeWith(nil, pa) }
+
+func (c *Compiled) executeWith(prog *CodegenProgram, pa *PointArgs) {
 	if pa.Scratch == nil {
 		pa.Scratch = NewScratch()
 	}
@@ -190,7 +198,6 @@ func (c *Compiled) Execute(pa *PointArgs) {
 	// lowered loop whose runtime guard declines (dtype mismatch against a
 	// hand-built binding, unprofitable GEMV layout) falls back to the
 	// interpreter for that execution. Both backends are bit-identical.
-	prog := c.prog
 	for i := range c.loops {
 		l := &c.loops[i]
 		switch l.kind {

@@ -275,6 +275,13 @@ type Kernel struct {
 	// hasCastMemo caches HasCast: 0 uncomputed, 1 true, 2 false. Not
 	// copied by Clone/Remap (they rebuild statements).
 	hasCastMemo int8
+	// fpMemo caches Fingerprint. Unfused streams mint a fresh kernel
+	// object per task but fingerprint each one several times (fusion
+	// memo key, program cache, calibration class), and the render walks
+	// every statement — caching it keeps the scheduler's per-task
+	// bookkeeping cheaper than the tasks it schedules. Reset by the
+	// build-time mutators (AddLoop, SetDType); not copied by Clone/Remap.
+	fpMemo string
 }
 
 // NewKernel allocates a kernel with the given parameter count; every
@@ -301,6 +308,7 @@ func (k *Kernel) SetDType(p int, d DType) {
 		k.DTypes = dts
 	}
 	k.DTypes[p] = d
+	k.fpMemo = ""
 }
 
 // HasCast reports whether any statement of the kernel contains an explicit
@@ -342,6 +350,7 @@ func (k *Kernel) computeHasCast() bool {
 // AddLoop appends a loop to the kernel.
 func (k *Kernel) AddLoop(l *Loop) *Kernel {
 	k.Loops = append(k.Loops, l)
+	k.fpMemo = ""
 	return k
 }
 
@@ -441,6 +450,9 @@ func (k *Kernel) Fingerprint() string {
 	if k == nil {
 		return "nil"
 	}
+	if k.fpMemo != "" {
+		return k.fpMemo
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|", k.NParams)
 	// Parameter dtypes are part of kernel identity: an f32 stream and an
@@ -461,7 +473,8 @@ func (k *Kernel) Fingerprint() string {
 		}
 		b.WriteByte('}')
 	}
-	return b.String()
+	k.fpMemo = b.String()
+	return k.fpMemo
 }
 
 func exprFingerprint(b *strings.Builder, e *Expr) {

@@ -19,8 +19,10 @@ package legion
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diffuse/internal/ir"
 	"diffuse/internal/kir"
@@ -225,6 +227,15 @@ type execBatch struct {
 	nparts  int // populated claim ranges (woken workers + submitter)
 	wg      sync.WaitGroup
 
+	// interp, when set, forces this batch through the interpreter even
+	// though a codegen program is attached — the feedback layer's backend
+	// pick (a probe while the interpreter twin warms up, or a measured
+	// decision that the interpreter is cheaper). Bit-identical either way.
+	interp bool
+	// timed, when set, receives a timing observation per executed chunk
+	// (or per inline task): the feedback layer's sampled calibration.
+	timed *machine.Calibrated
+
 	// shardRun, when set, turns the batch into a sharded stage: claimed
 	// indices are shard numbers, and the claimant runs the whole shard
 	// (every stage task's points for that shard) in one call.
@@ -262,6 +273,18 @@ type taskPlan struct {
 	// reachable until that kernel next executes or the cache clears —
 	// bounded by maxPlans and gone entirely with the runtime.
 	epoch int64
+
+	// Feedback attachments (see feedback.go), nil with feedback off: the
+	// kernel fingerprint and dominant dtype (cached — fingerprints are
+	// built once per plan, not per execution), and the calibration
+	// classes for the chunked path, its interpreter twin (backend pick),
+	// and the sharded path at calShardN shards.
+	fp        string
+	dtype     kir.DType
+	cal       *machine.Calibrated
+	calInterp *machine.Calibrated
+	calShard  *machine.Calibrated
+	calShardN int
 }
 
 // argPlan is the pre-resolved binding recipe of one task argument.
@@ -302,9 +325,11 @@ const maxPlans = 2048
 // the task. Callers hold execMu.
 func (rt *Runtime) planFor(t *ir.Task, comp *kir.Compiled) *taskPlan {
 	if p, ok := rt.plans[t.Kernel]; ok && p.refresh(rt, t) {
+		rt.attachCalibration(p)
 		return p
 	}
 	p := rt.buildPlan(t, comp)
+	rt.attachCalibration(p)
 	if len(rt.plans) >= maxPlans {
 		clear(rt.plans)
 	}
@@ -377,6 +402,13 @@ func intsEq(a, b []int) bool {
 
 func (rt *Runtime) buildPlan(t *ir.Task, comp *kir.Compiled) *taskPlan {
 	p := &taskPlan{kernel: t.Kernel, launch: t.Launch, colors: t.Launch.Points(), epoch: rt.freeEpoch, backend: comp.HasCodegen()}
+	p.dtype = kir.F64
+	if len(t.Args) > 0 {
+		// Dominant dtype for the calibration class: the first argument's
+		// store (fused kernels are single-precision-or-double throughout in
+		// practice, and the fingerprint disambiguates mixed cases anyway).
+		p.dtype = t.Args[0].Store.DType()
+	}
 	p.args = make([]argPlan, len(t.Args))
 	for i, a := range t.Args {
 		ap := &p.args[i]
@@ -512,7 +544,29 @@ func (e *executor) runPoint(b *execBatch, ws *workerState, pi int, color ir.Poin
 			ws.pa.Payloads[k] = prov.Local(pi)
 		}
 	}
-	b.comp.Execute(&ws.pa)
+	if b.interp {
+		b.comp.ExecuteInterp(&ws.pa)
+	} else {
+		b.comp.Execute(&ws.pa)
+	}
+}
+
+// runSpan executes the contiguous point range [lo, hi), timing it into the
+// batch's calibration class when this batch is sampled. Whole spans are
+// timed, never points — two clock reads per dispatch-cost-sized chunk keep
+// measurement overhead under 1%.
+func (e *executor) runSpan(b *execBatch, ws *workerState, lo, hi int) {
+	if b.timed == nil {
+		for pi := lo; pi < hi; pi++ {
+			e.runPoint(b, ws, pi, b.colors[pi])
+		}
+		return
+	}
+	t0 := time.Now()
+	for pi := lo; pi < hi; pi++ {
+		e.runPoint(b, ws, pi, b.colors[pi])
+	}
+	b.timed.Observe(time.Since(t0).Seconds(), hi-lo)
 }
 
 // run drains chunks for one participant: first its own range front to
@@ -553,9 +607,7 @@ func (e *executor) run(b *execBatch, wsIdx, rangeIdx int) {
 		if hi > n {
 			hi = n
 		}
-		for pi := lo; pi < hi; pi++ {
-			e.runPoint(b, ws, pi, b.colors[pi])
-		}
+		e.runSpan(b, ws, lo, hi)
 	}
 }
 
@@ -596,14 +648,32 @@ func (rt *Runtime) executeChunked(t *ir.Task) {
 
 	e := rt.exec
 	b := &execBatch{plan: plan, comp: comp, payload: payload, colors: colors}
-	chunk, inline := e.host.ChunkPoints(plan.perPoint, n, e.nw)
+	perPoint := rt.feedbackRoute(plan, b)
+	chunk, inline := e.host.ChunkPoints(perPoint, n, e.nw)
+	if plan.cal != nil && perPoint > plan.perPoint {
+		// Calibration only moves dispatch *toward* coarser scheduling: it
+		// may flip a pooled task inline or grow chunks, never the reverse.
+		// A measured per-point cost above the static prior folds in costs
+		// more dispatch cannot parallelize away — per-task overheads
+		// (binding, payload setup) both paths pay, and timesharing
+		// inflation when workers outnumber cores. Pricing those as
+		// divisible work would shrink chunks, which adds dispatches, which
+		// inflates the next measurement: an unstable feedback loop the
+		// static floor cuts. Measured costs *below* the prior still grow
+		// chunks and keep the inline flip — the side where the measurement
+		// is trustworthy, because contention only ever inflates it.
+		schunk, staticInline := e.host.ChunkPoints(plan.perPoint, n, e.nw)
+		if staticInline {
+			inline = true
+		} else if chunk < schunk {
+			chunk = schunk
+		}
+	}
 	if inline {
 		e.inline.Add(1)
 		sub := &e.ws[e.nw]
 		sub.prepare(len(plan.args), payload)
-		for pi, color := range colors {
-			e.runPoint(b, sub, pi, color)
-		}
+		e.runSpan(b, sub, 0, n)
 		sub.release()
 	} else {
 		e.pooled.Add(1)
@@ -611,6 +681,58 @@ func (rt *Runtime) executeChunked(t *ir.Task) {
 		e.dispatch(b, (n+chunk-1)/chunk)
 	}
 	plan.foldPartials(t)
+}
+
+// feedbackRoute prices one chunked execution: with feedback off it
+// returns the static per-point prior untouched; with feedback on it
+// returns the calibrated estimate of the cheaper backend, marks the batch
+// for interpreter execution when the backend pick (or a warmup probe)
+// chooses it, and marks the batch for timing when this execution is
+// sampled. Callers hold execMu.
+// interpPickMargin is the fraction of the compiled tier's calibrated
+// cost the interpreter twin must measure below before the backend pick
+// reroutes a class to the interpreter.
+const interpPickMargin = 0.85
+
+func (rt *Runtime) feedbackRoute(plan *taskPlan, b *execBatch) float64 {
+	if plan.cal == nil {
+		return plan.perPoint
+	}
+	chosen := plan.cal
+	est, _ := chosen.Estimate()
+	if plan.calInterp != nil {
+		iest, ical := plan.calInterp.Estimate()
+		switch {
+		case !ical:
+			// Interpreter twin still warming: probe it (timed) so the pick
+			// gets a measured comparison within a few executions — but only
+			// on tasks the static model prices onto the pool. A statically
+			// inline task finishes in under a dispatch, so no backend pick
+			// can earn back what the warmup probes cost; routing a few of
+			// its executions through the slower tier would be pure loss on
+			// exactly the fine-grained streams feedback targets.
+			e := rt.exec
+			if _, staticInline := e.host.ChunkPoints(plan.perPoint, len(b.colors), e.nw); !staticInline {
+				b.interp = true
+				b.timed = plan.calInterp
+				chosen, est = plan.calInterp, iest
+			}
+		case iest < est*interpPickMargin:
+			// Measured decision: the interpreter beats the compiled tier
+			// for this class (tiny extents where closure dispatch costs
+			// more than it saves). Bit-identical backends make this safe.
+			// The margin is hysteresis: near parity one noisy sample would
+			// flap the pick between backends, and a reroute can only ever
+			// recover the gap it measured — demand a decisive gap.
+			b.interp = true
+			chosen, est = plan.calInterp, iest
+			rt.fbInterpRoutes.Add(1)
+		}
+	}
+	if b.timed == nil && chosen.ShouldSample() {
+		b.timed = chosen
+	}
+	return est
 }
 
 // dispatch fans one batch of nunits claimable units (dispatch chunks, or
@@ -652,6 +774,7 @@ type dagState struct {
 	waiting   int // participants asleep in cond.Wait
 	indeg     []atomic.Int32
 	succ      [][]int32
+	prio      []float64 // optional dispatch priorities (see runDAG)
 	run       func(ws *workerState, node int32)
 }
 
@@ -694,6 +817,9 @@ func (d *dagState) loop(ws *workerState) {
 				ready = append(ready, sn)
 			}
 		}
+		if d.prio != nil && len(ready) > 1 {
+			sortReady(ready, d.prio)
+		}
 		d.mu.Lock()
 		d.stack = append(d.stack, ready...)
 		d.remaining--
@@ -704,13 +830,33 @@ func (d *dagState) loop(ws *workerState) {
 	}
 }
 
+// sortReady orders a batch of newly ready nodes so the highest-priority
+// node is popped first from the LIFO stack: ascending priority, ties
+// broken by descending id (the lowest id pops first, matching the
+// unprioritized drain). Priorities only reshape the schedule — any drain
+// order is correct — so this is a heuristic, applied per ready batch.
+func sortReady(nodes []int32, prio []float64) {
+	sort.Slice(nodes, func(i, j int) bool {
+		pi, pj := prio[nodes[i]], prio[nodes[j]]
+		if pi != pj {
+			return pi < pj
+		}
+		return nodes[i] > nodes[j]
+	})
+}
+
 // runDAG executes a dependence DAG of nnodes nodes to completion: roots
 // (in-degree zero) seed a readiness stack, and the submitting goroutine —
 // joined by up to nw-1 woken workers — drains it. With a single-worker
 // pool the whole DAG runs on the submitter in LIFO depth-first order with
 // no locking in the executor's way; results are independent of the
 // schedule (the DAG's edges are the only ordering the caller relies on).
-func (e *executor) runDAG(nnodes int, indeg []atomic.Int32, succ [][]int32, run func(ws *workerState, node int32)) {
+//
+// prio, when non-nil, biases the drain: among ready nodes the one with
+// the highest priority (the feedback layer passes measured critical-path
+// lengths) is dispatched first. With prio nil the order is exactly the
+// historical LIFO depth-first drain.
+func (e *executor) runDAG(nnodes int, indeg []atomic.Int32, succ [][]int32, prio []float64, run func(ws *workerState, node int32)) {
 	if nnodes == 0 {
 		return
 	}
@@ -722,6 +868,9 @@ func (e *executor) runDAG(nnodes int, indeg []atomic.Int32, succ [][]int32, run 
 			roots = append(roots, int32(n))
 		}
 	}
+	if prio != nil {
+		sortReady(roots, prio)
+	}
 	if e.nw <= 1 {
 		// Serial fast path: plain LIFO stack on the submitter.
 		sub := &e.ws[e.nw]
@@ -732,10 +881,20 @@ func (e *executor) runDAG(nnodes int, indeg []atomic.Int32, succ [][]int32, run 
 			stack = stack[:len(stack)-1]
 			run(sub, n)
 			done++
-			for i := len(succ[n]) - 1; i >= 0; i-- {
-				if sn := succ[n][i]; indeg[sn].Add(-1) == 0 {
-					stack = append(stack, sn)
+			if prio == nil {
+				for i := len(succ[n]) - 1; i >= 0; i-- {
+					if sn := succ[n][i]; indeg[sn].Add(-1) == 0 {
+						stack = append(stack, sn)
+					}
 				}
+			} else {
+				mark := len(stack)
+				for _, sn := range succ[n] {
+					if indeg[sn].Add(-1) == 0 {
+						stack = append(stack, sn)
+					}
+				}
+				sortReady(stack[mark:], prio)
 			}
 		}
 		if done != nnodes {
@@ -744,7 +903,7 @@ func (e *executor) runDAG(nnodes int, indeg []atomic.Int32, succ [][]int32, run 
 		return
 	}
 	e.pooled.Add(1)
-	d := &dagState{stack: roots, remaining: nnodes, indeg: indeg, succ: succ, run: run}
+	d := &dagState{stack: roots, remaining: nnodes, indeg: indeg, succ: succ, prio: prio, run: run}
 	d.cond = sync.NewCond(&d.mu)
 	b := &execBatch{dag: d}
 	woken := e.nw

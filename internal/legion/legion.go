@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"diffuse/internal/ir"
 	"diffuse/internal/kir"
@@ -119,6 +120,14 @@ type Runtime struct {
 	codegen CodegenMode
 	progs   map[string]*kir.CodegenProgram
 	cgStats codegenCounters
+
+	// Feedback-directed scheduling state (see feedback.go): the active
+	// mode and the fingerprint-keyed calibration classes (map guarded by
+	// execMu; entries lock internally so pool workers can observe
+	// timings without it). fbInterpRoutes counts backend-pick reroutes.
+	feedback       FeedbackMode
+	cal            map[calKey]*machine.Calibrated
+	fbInterpRoutes atomic.Int64
 
 	workers int
 	scratch sync.Pool // per-point-baseline scratch recycling

@@ -54,6 +54,7 @@ package legion
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"diffuse/internal/ir"
 	"diffuse/internal/kir"
@@ -664,6 +665,13 @@ func (rt *Runtime) runUnitShard(u *groupEntry, ws *workerState, s, shards int) {
 	// canonical instance; reductions accumulate into per-point partials.
 	insts := shardInstances(plan, lo, hi)
 
+	// Sampled unit timing for the feedback layer: whole units are timed
+	// (never points), into the shard-width calibration class.
+	var t0 time.Time
+	timed := plan.calShard != nil && plan.calShard.ShouldSample()
+	if timed {
+		t0 = time.Now()
+	}
 	for pi := lo; pi < hi; pi++ {
 		bindPoint(plan, ws, pi, plan.colors[pi])
 		for i := range plan.args {
@@ -677,6 +685,9 @@ func (rt *Runtime) runUnitShard(u *groupEntry, ws *workerState, s, shards int) {
 			}
 		}
 		u.comp.Execute(&ws.pa)
+	}
+	if timed {
+		plan.calShard.Observe(time.Since(t0).Seconds(), hi-lo)
 	}
 }
 

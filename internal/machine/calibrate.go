@@ -1,0 +1,115 @@
+package machine
+
+// Online cost calibration. The static Config constants (MemBW, FlopRate,
+// KernelLaunch) describe a nominal host; real per-point costs drift from
+// them — the codegen tier alone moved measured costs 1.6-3.6x off the
+// model — and the drift is per-kernel, not global. A Calibrated blends the
+// static prior with an EWMA of measured seconds-per-point for one
+// execution class (one kernel fingerprint on one backend at one shard
+// count), and the executor feeds its estimate back into ChunkPoints so
+// chunk grain and the inline cutoff track what the host actually does.
+//
+// Robustness: a single wild measurement (a GC pause, a page fault inside a
+// timed chunk) must not capture the schedule, so every observation is
+// clamped to a factor window around the static prior before it enters the
+// EWMA — the estimate can never leave [prior/calClamp, prior*calClamp],
+// which bounds how far any outlier can move chunk sizing or flip the
+// inline decision.
+
+import "sync"
+
+const (
+	// calAlpha is the EWMA smoothing factor: each observation contributes
+	// a quarter, so one outlier decays below 10% influence in 8 samples.
+	calAlpha = 0.25
+	// calWarmup is the number of observations required before Estimate
+	// trusts the measurement over the static prior.
+	calWarmup = 3
+	// calSampleEvery decimates timing after warmup: one execution in every
+	// calSampleEvery is timed, keeping clock overhead under 1% even for
+	// inline tasks near the dispatch cutoff.
+	calSampleEvery = 8
+	// calClamp bounds observations (and therefore the estimate) to
+	// [prior/calClamp, prior*calClamp].
+	calClamp = 32.0
+)
+
+// Calibrated is the online cost source of one execution class. Estimate
+// and Observe are safe for concurrent use — pool workers observe chunk
+// timings without holding the runtime's execution lock.
+type Calibrated struct {
+	mu      sync.Mutex
+	prior   float64 // static model estimate, seconds per point
+	ewma    float64 // smoothed measured seconds per point
+	samples int64   // observations folded into ewma
+	hits    int64   // Estimate calls answered from measurement
+	ticks   int64   // ShouldSample decimation counter
+}
+
+// NewCalibrated returns a calibrated cost source seeded with the static
+// model's seconds-per-point estimate.
+func NewCalibrated(prior float64) *Calibrated {
+	if prior <= 0 {
+		prior = 1e-9 // degenerate static estimate: keep the clamp window sane
+	}
+	return &Calibrated{prior: prior}
+}
+
+// ShouldSample reports whether the caller should time this execution:
+// always during warmup, then one in every calSampleEvery.
+func (c *Calibrated) ShouldSample() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.samples < calWarmup {
+		return true
+	}
+	c.ticks++
+	return c.ticks%calSampleEvery == 0
+}
+
+// Observe folds one timed execution of `points` point tasks taking `sec`
+// seconds into the estimate. Non-positive or empty measurements are
+// dropped; the per-point value is clamped to the prior's factor window
+// before smoothing.
+func (c *Calibrated) Observe(sec float64, points int) {
+	if sec <= 0 || points <= 0 {
+		return
+	}
+	per := sec / float64(points)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lo := c.prior / calClamp; per < lo {
+		per = lo
+	}
+	if hi := c.prior * calClamp; per > hi {
+		per = hi
+	}
+	if c.samples == 0 {
+		c.ewma = per
+	} else {
+		c.ewma += calAlpha * (per - c.ewma)
+	}
+	c.samples++
+}
+
+// Estimate returns the blended seconds-per-point estimate: the static
+// prior until warmup completes, the clamped EWMA after. calibrated
+// reports which source answered.
+func (c *Calibrated) Estimate() (secPerPoint float64, calibrated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.samples < calWarmup {
+		return c.prior, false
+	}
+	c.hits++
+	return c.ewma, true
+}
+
+// Snapshot returns the current state for observability (diffuse-trace
+// -stats): the static prior, the measured EWMA (0 until a first sample),
+// the sample count, and the calibrated-estimate hit count.
+func (c *Calibrated) Snapshot() (prior, measured float64, samples, hits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prior, c.ewma, c.samples, c.hits
+}

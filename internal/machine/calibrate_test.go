@@ -1,0 +1,151 @@
+package machine
+
+import "testing"
+
+// ChunkPoints edge cases: the degenerate launches must always run inline,
+// and the inline cutoff must flip exactly at InlineCutoff seconds of total
+// work.
+func TestChunkPointsSingleWorkerInlines(t *testing.T) {
+	c := HostExec(1)
+	// Any size, any cost: a pool of one can never beat the submitter.
+	for _, n := range []int{1, 2, 1 << 20} {
+		chunk, inline := c.ChunkPoints(1.0, n, 1)
+		if !inline || chunk != n {
+			t.Fatalf("workers=1 npoints=%d: chunk=%d inline=%v, want inline whole task", n, chunk, inline)
+		}
+	}
+	if chunk, inline := c.ChunkPoints(1.0, 100, 0); !inline || chunk != 100 {
+		t.Fatalf("workers=0: chunk=%d inline=%v, want inline whole task", chunk, inline)
+	}
+}
+
+func TestChunkPointsSinglePointInlines(t *testing.T) {
+	c := HostExec(8)
+	// One point is one unit of work: nothing to parallelize, whatever the
+	// per-point cost says.
+	chunk, inline := c.ChunkPoints(10*c.InlineCutoff, 1, 8)
+	if !inline || chunk != 1 {
+		t.Fatalf("npoints=1: chunk=%d inline=%v, want inline", chunk, inline)
+	}
+	if chunk, inline := c.ChunkPoints(1.0, 0, 8); !inline || chunk != 0 {
+		t.Fatalf("npoints=0: chunk=%d inline=%v, want inline empty task", chunk, inline)
+	}
+}
+
+func TestChunkPointsCutoffBoundary(t *testing.T) {
+	c := HostExec(4)
+	const n = 1000
+	// Just under the cutoff: inline. At/above it: dispatched in chunks.
+	under := (c.InlineCutoff / n) * 0.99
+	over := (c.InlineCutoff / n) * 1.01
+	if _, inline := c.ChunkPoints(under, n, 4); !inline {
+		t.Fatalf("task under InlineCutoff must run inline")
+	}
+	chunk, inline := c.ChunkPoints(over, n, 4)
+	if inline {
+		t.Fatalf("task over InlineCutoff must be dispatched")
+	}
+	if chunk < 1 || chunk > (n+3)/4 {
+		t.Fatalf("chunk = %d out of [1, ceil(n/workers)]", chunk)
+	}
+}
+
+// Calibration clamping: a wild outlier observation must not be able to
+// drive the chunk decision to a degenerate size (0, or collapsing the
+// whole launch into one chunk when the static model priced real work).
+func TestCalibrationClampBoundsEstimate(t *testing.T) {
+	c := HostExec(4)
+	const n = 1 << 16
+	prior := 4 * c.InlineCutoff / n // statically dispatched, modest chunks
+
+	// A huge stall (say a page-fault storm) lands in a timed chunk.
+	cal := NewCalibrated(prior)
+	for i := 0; i < 16; i++ {
+		cal.Observe(1e6, 1) // "one second per point", a million-x outlier
+	}
+	est, calibrated := cal.Estimate()
+	if !calibrated {
+		t.Fatal("estimate must be calibrated after 16 samples")
+	}
+	if est > prior*calClamp+1e-18 {
+		t.Fatalf("estimate %g escaped the clamp window (prior %g x %g)", est, prior, calClamp)
+	}
+	chunk, inline := c.ChunkPoints(est, n, 4)
+	if inline {
+		t.Fatal("overestimate must not flip a dispatched task inline")
+	}
+	if chunk < 1 {
+		t.Fatalf("chunk = %d, outlier drove the chunk size to zero", chunk)
+	}
+
+	// The opposite stall: a timer glitch reports near-zero cost.
+	cal = NewCalibrated(prior)
+	for i := 0; i < 16; i++ {
+		cal.Observe(1e-300, 1<<30)
+	}
+	est, _ = cal.Estimate()
+	if est < prior/calClamp-1e-18 {
+		t.Fatalf("estimate %g escaped the clamp window (prior %g / %g)", est, prior, calClamp)
+	}
+	chunk, inline = c.ChunkPoints(est, n, 4)
+	// The clamp may legitimately move the task across the inline cutoff
+	// (that is the feedback working), but never to a degenerate chunking.
+	if !inline && (chunk < 1 || chunk > n) {
+		t.Fatalf("chunk = %d out of range after underestimate", chunk)
+	}
+}
+
+func TestCalibrationWarmupAndSampling(t *testing.T) {
+	cal := NewCalibrated(1e-6)
+	// Before warmup the static prior answers, uncalibrated.
+	if est, calibrated := cal.Estimate(); calibrated || est != 1e-6 {
+		t.Fatalf("pre-warmup estimate = (%g, %v), want prior uncalibrated", est, calibrated)
+	}
+	// Warmup executions are always sampled.
+	for i := 0; i < calWarmup; i++ {
+		if !cal.ShouldSample() {
+			t.Fatalf("warmup execution %d not sampled", i)
+		}
+		cal.Observe(2e-6, 1)
+	}
+	est, calibrated := cal.Estimate()
+	if !calibrated {
+		t.Fatal("post-warmup estimate must be calibrated")
+	}
+	if est < 1e-6 || est > 2e-6 {
+		t.Fatalf("post-warmup estimate %g outside (prior, observed)", est)
+	}
+	// Post warmup, sampling decimates to one in calSampleEvery.
+	sampled := 0
+	for i := 0; i < 10*calSampleEvery; i++ {
+		if cal.ShouldSample() {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of %d executions, want %d", sampled, 10*calSampleEvery, 10)
+	}
+	// Degenerate observations are dropped.
+	_, _, samples, _ := cal.Snapshot()
+	cal.Observe(0, 100)
+	cal.Observe(-1, 100)
+	cal.Observe(1e-6, 0)
+	if _, _, after, _ := cal.Snapshot(); after != samples {
+		t.Fatalf("degenerate observations changed the sample count: %d -> %d", samples, after)
+	}
+}
+
+func TestCalibratedDegeneratePrior(t *testing.T) {
+	// A zero or negative static estimate must still yield a sane clamp
+	// window instead of pinning every observation to zero.
+	for _, prior := range []float64{0, -1} {
+		cal := NewCalibrated(prior)
+		for i := 0; i < calWarmup; i++ {
+			cal.Observe(1e-9, 1)
+		}
+		est, calibrated := cal.Estimate()
+		if !calibrated || est <= 0 {
+			t.Fatalf("prior %g: estimate = (%g, %v), want positive calibrated", prior, est, calibrated)
+		}
+	}
+}
