@@ -60,11 +60,12 @@ func main() {
 		compare    = flag.String("compare", "", "fresh suite JSON to compare against the committed trajectory (positional arg, default BENCH_real.json); exit nonzero on regression")
 		compareTol = flag.Float64("comparetol", bench.DefaultCompareTolerance, "allowed fractional regression of ratio metrics before -compare fails")
 		ranksFlag  = flag.Int("ranks", 0, "run the multi-process distributed quick bench at this rank count (times ranks=N vs in-process shards=N and verifies bit-identity)")
+		transport  = flag.String("transport", "", "peer transport for -ranks: unix (default) or tcp")
 	)
 	flag.Parse()
 
 	if *ranksFlag > 0 {
-		if err := bench.RunDistBench(*ranksFlag, os.Stdout); err != nil {
+		if err := bench.RunDistBench(*ranksFlag, *transport, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

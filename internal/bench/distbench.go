@@ -70,10 +70,10 @@ func distCases() []distCase {
 // runDistCase builds c in a fresh context (distributed when ranks > 0, else
 // in-process sharded at shards), times the iterations, captures the
 // observables, and shuts the context down.
-func runDistCase(c distCase, ranks, shards int) (nsPerIter float64, obs []uint64, err error) {
+func runDistCase(c distCase, ranks, shards int, transport string) (nsPerIter float64, obs []uint64, err error) {
 	var ctx *cunum.Context
 	if ranks > 0 {
-		ctx = cunum.NewDistributedContext(ranks)
+		ctx = cunum.NewDistributedTransportContext(ranks, transport)
 	} else {
 		cfg := core.DefaultConfig(shards)
 		cfg.Shards = shards
@@ -96,22 +96,27 @@ func runDistCase(c distCase, ranks, shards int) (nsPerIter float64, obs []uint64
 	return nsPerIter, obs, nil
 }
 
-// RunDistBench runs the distributed quick bench at the given rank count.
-// It returns an error when any rank fails or any observable differs from
-// the in-process oracle.
-func RunDistBench(ranks int, w io.Writer) error {
+// RunDistBench runs the distributed quick bench at the given rank count
+// over the given peer transport ("unix", "tcp", or "" for the environment
+// default). It returns an error when any rank fails or any observable
+// differs from the in-process oracle.
+func RunDistBench(ranks int, transport string, w io.Writer) error {
 	if ranks < 1 {
 		return fmt.Errorf("bench: -ranks wants a positive rank count, got %d", ranks)
 	}
-	fmt.Fprintf(w, "distributed quick bench: %d rank process(es) vs in-process shards=%d\n\n", ranks, ranks)
+	label := transport
+	if label == "" {
+		label = "default"
+	}
+	fmt.Fprintf(w, "distributed quick bench: %d rank process(es) (%s transport) vs in-process shards=%d\n\n", ranks, label, ranks)
 	fmt.Fprintf(w, "%-14s %14s %14s %8s  %s\n", "workload", "inproc ns/iter", "ranks ns/iter", "ratio", "bit-identical")
 	identical := true
 	for _, c := range distCases() {
-		inprocNs, inprocObs, err := runDistCase(c, 0, ranks)
+		inprocNs, inprocObs, err := runDistCase(c, 0, ranks, "")
 		if err != nil {
 			return fmt.Errorf("bench: %s in-process: %w", c.name, err)
 		}
-		distNs, distObs, err := runDistCase(c, ranks, 0)
+		distNs, distObs, err := runDistCase(c, ranks, 0, transport)
 		if err != nil {
 			return fmt.Errorf("bench: %s at ranks=%d: %w", c.name, ranks, err)
 		}

@@ -58,6 +58,14 @@ type Config struct {
 	// runtime must call dist.MaybeRankMain first thing in main(), and
 	// Runtime.Close must be called to shut the ranks down.
 	Ranks int
+	// Transport selects the distributed dial/listen transport (only
+	// meaningful with Ranks > 1): "unix" keeps ranks on unix-domain
+	// sockets in a private rendezvous directory (the single-host
+	// default); "tcp" runs the identical mesh over TCP — loopback by
+	// default, or bound to DIFFUSE_DIST_BIND so ranks can span machines.
+	// Empty falls back to DIFFUSE_DIST_TRANSPORT, then "unix". Results
+	// are bit-identical across transports; only the byte path changes.
+	Transport string
 	// Wavefront selects the sharded drain scheduler: the per-(shard,
 	// stage) dependence DAG (legion.WavefrontOn, the zero value — one
 	// shard may run several stages ahead of another wherever no halo edge
@@ -200,7 +208,7 @@ func New(cfg Config) *Runtime {
 		if cfg.Feedback == legion.FeedbackOff {
 			extraEnv = append(extraEnv, dist.EnvFeedback+"=off")
 		}
-		par, err := dist.Launch(cfg.Ranks, extraEnv...)
+		par, err := dist.Launch(cfg.Ranks, cfg.Transport, extraEnv...)
 		if err != nil {
 			panic(fmt.Sprintf("core: launching %d-rank distributed runtime: %v", cfg.Ranks, err))
 		}

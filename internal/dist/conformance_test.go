@@ -1,0 +1,407 @@
+package dist
+
+// Transport conformance suite: every transport the distributed runtime
+// can run over — unix sockets, TCP, and the fault-injection wrapper in
+// passthrough mode — must satisfy the same contract, exercised here
+// through one shared harness: full-mesh bootstrap, per-tag FIFO ordering,
+// tag demultiplexing, prompt failure of receives blocked on a closed
+// peer, and deadline errors that name the peer. The legion drain's
+// correctness argument quantifies over exactly these properties, so a
+// transport that passes this suite is safe to select via
+// DIFFUSE_DIST_TRANSPORT without re-validating the runtime above it.
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffuse/internal/dist/faultx"
+)
+
+// sendRecver is the surface under test — the subset of the transport the
+// legion drain uses for peer traffic.
+type sendRecver interface {
+	Send(peer int, tag uint64, data []byte) error
+	Recv(peer int, tag uint64) ([]byte, error)
+}
+
+// testMesh is one bootstrapped in-process mesh: raw holds the underlying
+// *Transport per rank (for teardown and link severing), tx the possibly
+// wrapped view the checks exercise.
+type testMesh struct {
+	raw []*Transport
+	tx  []sendRecver
+}
+
+// buildMesh bootstraps a full ranks-wide mesh over the provider, with
+// every rank's connectMesh running concurrently the way real rank
+// processes do.
+func buildMesh(t *testing.T, prov Provider, ranks int, timeout time.Duration) *testMesh {
+	t.Helper()
+	addrs, cleanup, err := prov.Allocate(ranks)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	t.Cleanup(cleanup)
+
+	m := &testMesh{raw: make([]*Transport, ranks), tx: make([]sendRecver, ranks)}
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for me := 0; me < ranks; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			m.raw[me], errs[me] = connectMesh(prov, addrs, me, timeout)
+		}(me)
+	}
+	wg.Wait()
+	for me, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connectMesh: %v", me, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tx := range m.raw {
+			tx.Close()
+		}
+	})
+	for me := range m.tx {
+		m.tx[me] = m.raw[me]
+	}
+	return m
+}
+
+// meshFactories enumerates the transports under test. The faultx entry
+// wraps the unix mesh in a fault-injection transport with an empty
+// schedule: the wrapper must be a perfect passthrough when no rule
+// matches, including error propagation from the inner transport.
+var meshFactories = []struct {
+	name  string
+	build func(t *testing.T, ranks int, timeout time.Duration) *testMesh
+}{
+	{"unix", func(t *testing.T, ranks int, timeout time.Duration) *testMesh {
+		return buildMesh(t, unixProvider{}, ranks, timeout)
+	}},
+	{"tcp", func(t *testing.T, ranks int, timeout time.Duration) *testMesh {
+		return buildMesh(t, tcpProvider{}, ranks, timeout)
+	}},
+	{"faultx", func(t *testing.T, ranks int, timeout time.Duration) *testMesh {
+		m := buildMesh(t, unixProvider{}, ranks, timeout)
+		for me := range m.tx {
+			m.tx[me] = faultx.Wrap(m.raw[me], me, &faultx.Schedule{})
+		}
+		return m
+	}},
+}
+
+// TestTransportConformance runs every conformance check against every
+// transport.
+func TestTransportConformance(t *testing.T) {
+	for _, f := range meshFactories {
+		t.Run(f.name, func(t *testing.T) {
+			t.Run("ConnectMesh", func(t *testing.T) { checkConnectMesh(t, f.build) })
+			t.Run("FIFOOrdering", func(t *testing.T) { checkFIFOOrdering(t, f.build) })
+			t.Run("TagDemux", func(t *testing.T) { checkTagDemux(t, f.build) })
+			t.Run("CloseWhileBlocked", func(t *testing.T) { checkCloseWhileBlocked(t, f.build) })
+			t.Run("RecvTimeout", func(t *testing.T) { checkRecvTimeout(t, f.build) })
+		})
+	}
+}
+
+// checkConnectMesh: a 3-rank bootstrap yields a full mesh where every
+// ordered pair can exchange a message.
+func checkConnectMesh(t *testing.T, build func(*testing.T, int, time.Duration) *testMesh) {
+	const ranks = 3
+	m := build(t, ranks, 5*time.Second)
+	var wg sync.WaitGroup
+	fail := make(chan error, ranks*ranks)
+	for me := 0; me < ranks; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for peer := 0; peer < ranks; peer++ {
+				if peer == me {
+					continue
+				}
+				if err := m.tx[me].Send(peer, 7, []byte{byte(me)}); err != nil {
+					fail <- fmt.Errorf("rank %d send to %d: %w", me, peer, err)
+				}
+			}
+			for peer := 0; peer < ranks; peer++ {
+				if peer == me {
+					continue
+				}
+				data, err := m.tx[me].Recv(peer, 7)
+				if err != nil {
+					fail <- fmt.Errorf("rank %d recv from %d: %w", me, peer, err)
+				} else if len(data) != 1 || data[0] != byte(peer) {
+					fail <- fmt.Errorf("rank %d recv from %d: payload %v", me, peer, data)
+				}
+			}
+		}(me)
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+}
+
+// checkFIFOOrdering: messages with equal tags between one (sender,
+// receiver) pair arrive in send order.
+func checkFIFOOrdering(t *testing.T, build func(*testing.T, int, time.Duration) *testMesh) {
+	m := build(t, 2, 5*time.Second)
+	const n = 200
+	const tag = 42
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := m.tx[0].Send(1, tag, []byte{byte(i), byte(i >> 8)}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		data, err := m.tx[1].Recv(0, tag)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got := int(data[0]) | int(data[1])<<8; got != i {
+			t.Fatalf("recv %d delivered message %d: FIFO order violated", i, got)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+// checkTagDemux: differently tagged messages are independent streams — a
+// receiver draining tags in the reverse of send order still matches each
+// tag to its own payload, and interleaved traffic on another tag does not
+// disturb a blocked receive.
+func checkTagDemux(t *testing.T, build func(*testing.T, int, time.Duration) *testMesh) {
+	m := build(t, 2, 5*time.Second)
+	const tags = 8
+	for i := 0; i < tags; i++ {
+		if err := m.tx[0].Send(1, uint64(i), []byte{byte(i * 3)}); err != nil {
+			t.Fatalf("send tag %d: %v", i, err)
+		}
+	}
+	for i := tags - 1; i >= 0; i-- {
+		data, err := m.tx[1].Recv(0, uint64(i))
+		if err != nil {
+			t.Fatalf("recv tag %d: %v", i, err)
+		}
+		if len(data) != 1 || data[0] != byte(i*3) {
+			t.Fatalf("tag %d delivered payload %v, want [%d]", i, data, i*3)
+		}
+	}
+}
+
+// checkCloseWhileBlocked: a receive blocked on a peer whose connection
+// dies fails promptly (well before the transport deadline) with an error
+// naming the peer — the property that turns a crashed rank into a clean
+// diagnostic instead of a full deadline stall.
+func checkCloseWhileBlocked(t *testing.T, build func(*testing.T, int, time.Duration) *testMesh) {
+	m := build(t, 2, 30*time.Second)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.tx[1].Recv(0, 9)
+		errc <- err
+	}()
+	// Give the receiver time to block, then kill the link from the far side.
+	time.Sleep(50 * time.Millisecond)
+	m.raw[0].CloseLink(1)
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("recv on a closed link returned data")
+		}
+		if !strings.Contains(err.Error(), "rank 0") {
+			t.Fatalf("error does not name the dead peer: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv still blocked 5s after the peer closed the link")
+	}
+}
+
+// checkRecvTimeout: a receive with no matching message fails at the
+// deadline with an error naming the peer and the timeout.
+func checkRecvTimeout(t *testing.T, build func(*testing.T, int, time.Duration) *testMesh) {
+	const timeout = 300 * time.Millisecond
+	m := build(t, 2, timeout)
+	start := time.Now()
+	_, err := m.tx[1].Recv(0, 13)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("recv with no sender returned data")
+	}
+	if elapsed < timeout/2 || elapsed > 10*timeout {
+		t.Fatalf("recv failed after %v, want ≈%v", elapsed, timeout)
+	}
+	if !strings.Contains(err.Error(), "rank 0") || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("timeout error does not name the peer: %v", err)
+	}
+}
+
+// TestAddrSetRoundTrip: the DIFFUSE_PEERS rendering decodes back to the
+// allocated address set for both providers.
+func TestAddrSetRoundTrip(t *testing.T) {
+	for _, prov := range []Provider{unixProvider{}, tcpProvider{}} {
+		addrs, cleanup, err := prov.Allocate(3)
+		if err != nil {
+			t.Fatalf("%s allocate: %v", prov.Name(), err)
+		}
+		defer cleanup()
+		back, err := ParseAddrSet(addrs.Render(), 3)
+		if err != nil {
+			t.Fatalf("%s parse: %v", prov.Name(), err)
+		}
+		if back.Parent != addrs.Parent || len(back.Ranks) != len(addrs.Ranks) {
+			t.Fatalf("%s round trip mangled the set: %+v vs %+v", prov.Name(), back, addrs)
+		}
+		for i := range addrs.Ranks {
+			if back.Ranks[i] != addrs.Ranks[i] {
+				t.Fatalf("%s rank %d address %q != %q", prov.Name(), i, back.Ranks[i], addrs.Ranks[i])
+			}
+		}
+	}
+	if _, err := ParseAddrSet("a,b", 3); err == nil {
+		t.Fatal("short address set accepted")
+	}
+	if _, err := ParseAddrSet("a,,c,d", 3); err == nil {
+		t.Fatal("empty address entry accepted")
+	}
+}
+
+// TestProviderByName: selector resolution, including the environment
+// fallback and the unknown-transport error.
+func TestProviderByName(t *testing.T) {
+	t.Setenv(EnvTransport, "")
+	for name, want := range map[string]string{"": "unix", "unix": "unix", "tcp": "tcp"} {
+		p, err := providerByName(name)
+		if err != nil || p.Name() != want {
+			t.Fatalf("providerByName(%q) = %v, %v; want %s", name, p, err, want)
+		}
+	}
+	t.Setenv(EnvTransport, "tcp")
+	if p, err := providerByName(""); err != nil || p.Name() != "tcp" {
+		t.Fatalf("env fallback: %v, %v", p, err)
+	}
+	if _, err := providerByName("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+// TestDialRetryPermanentFailsFast: an unresolvable address must not
+// consume the retry budget — the regression dialRetry's error
+// classification exists to prevent (a misconfigured launch used to spin
+// on a hopeless dial for the full timeout before reporting).
+func TestDialRetryPermanentFailsFast(t *testing.T) {
+	start := time.Now()
+	_, err := dialRetry(tcpProvider{}, "127.0.0.1:99999", 10*time.Second) // port out of range
+	if err == nil {
+		t.Fatal("dial to an invalid port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("permanent dial failure took %v — retried instead of failing fast", elapsed)
+	}
+	if !strings.Contains(err.Error(), "permanent failure") {
+		t.Fatalf("error not classified permanent: %v", err)
+	}
+}
+
+// TestDialRetryWaitsForListener: the listener coming up late is the
+// expected bootstrap shape (every rank dials lower ranks that may not be
+// listening yet), so the dial must retry through it and succeed — for
+// both the missing-socket-file (unix) and connection-refused/no-listener
+// (tcp) flavors of "not up yet".
+func TestDialRetryWaitsForListener(t *testing.T) {
+	cases := []struct {
+		name string
+		prov Provider
+		addr func(t *testing.T) string
+	}{
+		{"unix", unixProvider{}, func(t *testing.T) string {
+			return filepath.Join(t.TempDir(), "late.sock")
+		}},
+		{"tcp", tcpProvider{}, func(t *testing.T) string {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ln.Addr().String()
+			ln.Close()
+			return addr
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := tc.addr(t)
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				ln, err := tc.prov.Listen(addr)
+				if err != nil {
+					return // the dialing side will report the failure
+				}
+				defer ln.Close()
+				if conn, err := ln.Accept(); err == nil {
+					conn.Close()
+				}
+			}()
+			start := time.Now()
+			conn, err := dialRetry(tc.prov, addr, 10*time.Second)
+			if err != nil {
+				t.Fatalf("dial through a late listener: %v", err)
+			}
+			conn.Close()
+			if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+				t.Fatalf("dial succeeded in %v — before the listener existed?", elapsed)
+			}
+		})
+	}
+}
+
+// TestDialRetryTransientTimesOut: a listener that never comes up exhausts
+// the deadline and reports the last transient error, not a permanent
+// classification.
+func TestDialRetryTransientTimesOut(t *testing.T) {
+	addr := filepath.Join(t.TempDir(), "never.sock")
+	start := time.Now()
+	_, err := dialRetry(unixProvider{}, addr, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to a never-listening address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("transient dial gave up after %v, before the deadline", elapsed)
+	}
+	if strings.Contains(err.Error(), "permanent") {
+		t.Fatalf("transient failure misclassified permanent: %v", err)
+	}
+}
+
+// TestTCPAllocateDistinctPorts: one launch's reservations never collide
+// with each other.
+func TestTCPAllocateDistinctPorts(t *testing.T) {
+	addrs, cleanup, err := tcpProvider{}.Allocate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	seen := map[string]bool{addrs.Parent: true}
+	for _, a := range addrs.Ranks {
+		if seen[a] {
+			t.Fatalf("address %s reserved twice in %+v", a, addrs)
+		}
+		seen[a] = true
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			t.Fatalf("address %s: %v", a, err)
+		}
+	}
+}

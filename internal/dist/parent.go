@@ -6,7 +6,6 @@ import (
 	"net"
 	"os"
 	"os/exec"
-	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -27,7 +26,7 @@ import (
 // state is shared with the reaper goroutines.
 type Parent struct {
 	ranks   int
-	dir     string
+	cleanup func() // releases the provider's address reservation
 	cmds    []*exec.Cmd
 	outputs []*tailBuffer
 	conns   []net.Conn
@@ -69,7 +68,9 @@ func (t *tailBuffer) String() string {
 	return string(t.buf)
 }
 
-// Launch starts a distributed runtime of the given width: it re-executes
+// Launch starts a distributed runtime of the given width: it allocates
+// the rendezvous addresses of the selected transport ("unix", "tcp", or
+// "" to fall back to DIFFUSE_DIST_TRANSPORT and then unix), re-executes
 // the current binary once per rank (MaybeRankMain diverts the children
 // into the rank control loop), waits for every rank's control connection,
 // and starts the reapers that turn a dead child into the first-failure
@@ -77,28 +78,32 @@ func (t *tailBuffer) String() string {
 // are appended to each rank's environment — how the parent propagates
 // runtime configuration (e.g. the codegen backend toggle) that ranks
 // must agree on.
-func Launch(ranks int, extraEnv ...string) (*Parent, error) {
+func Launch(ranks int, transport string, extraEnv ...string) (*Parent, error) {
 	if ranks < 1 {
 		return nil, fmt.Errorf("dist: rank count %d out of range", ranks)
+	}
+	prov, err := providerByName(transport)
+	if err != nil {
+		return nil, err
 	}
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("dist: locate executable: %w", err)
 	}
-	dir, err := os.MkdirTemp("", "diffuse-dist-")
+	addrs, cleanup, err := prov.Allocate(ranks)
 	if err != nil {
-		return nil, fmt.Errorf("dist: rendezvous dir: %w", err)
+		return nil, err
 	}
-	ln, err := net.Listen("unix", filepath.Join(dir, "parent.sock"))
+	ln, err := prov.Listen(addrs.Parent)
 	if err != nil {
-		os.RemoveAll(dir)
-		return nil, fmt.Errorf("dist: parent listen: %w", err)
+		cleanup()
+		return nil, fmt.Errorf("dist: parent listen on %s: %w", addrs.Parent, err)
 	}
 	defer ln.Close()
 
 	p := &Parent{
 		ranks:      ranks,
-		dir:        dir,
+		cleanup:    cleanup,
 		conns:      make([]net.Conn, ranks),
 		childErrs:  make([]error, ranks),
 		timeout:    distTimeout(),
@@ -111,7 +116,8 @@ func Launch(ranks int, extraEnv ...string) (*Parent, error) {
 		cmd.Env = append(os.Environ(),
 			EnvRank+"="+strconv.Itoa(r),
 			EnvRanks+"="+strconv.Itoa(ranks),
-			EnvPeers+"="+dir,
+			EnvPeers+"="+addrs.Render(),
+			EnvTransport+"="+prov.Name(),
 		)
 		cmd.Env = append(cmd.Env, extraEnv...)
 		out := &tailBuffer{limit: 8 << 10}
@@ -119,29 +125,29 @@ func Launch(ranks int, extraEnv ...string) (*Parent, error) {
 		cmd.Stderr = out
 		if err := cmd.Start(); err != nil {
 			p.kill()
-			os.RemoveAll(dir)
+			cleanup()
 			return nil, fmt.Errorf("dist: start rank %d: %w", r, err)
 		}
 		p.cmds = append(p.cmds, cmd)
 		p.outputs = append(p.outputs, out)
 	}
 
-	if ul, ok := ln.(*net.UnixListener); ok {
-		ul.SetDeadline(time.Now().Add(p.timeout))
+	if deadliner, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		deadliner.SetDeadline(time.Now().Add(p.timeout))
 	}
 	for i := 0; i < ranks; i++ {
 		conn, err := ln.Accept()
 		if err != nil {
 			p.kill()
 			err = fmt.Errorf("dist: waiting for rank connections: %w%s", err, p.outputTails())
-			os.RemoveAll(dir)
+			cleanup()
 			return nil, err
 		}
 		tag, body, err := readFrame(conn)
 		if err != nil || tag != msgHello {
 			conn.Close()
 			p.kill()
-			os.RemoveAll(dir)
+			cleanup()
 			return nil, fmt.Errorf("dist: bad hello from rank connection (tag %d): %v", tag, err)
 		}
 		r64, _, err := readI64(body)
@@ -149,7 +155,7 @@ func Launch(ranks int, extraEnv ...string) (*Parent, error) {
 		if err != nil || r < 0 || r >= ranks || p.conns[r] != nil {
 			conn.Close()
 			p.kill()
-			os.RemoveAll(dir)
+			cleanup()
 			return nil, fmt.Errorf("dist: hello names invalid rank %d", r)
 		}
 		p.conns[r] = conn
@@ -257,6 +263,10 @@ func (p *Parent) broadcast(tag uint64, payload []byte) {
 		panic(fmt.Errorf("dist: %w", err))
 	}
 	for r, conn := range p.conns {
+		// Bounded like every other transport operation: a rank whose
+		// control stream stopped draining must surface as an error naming
+		// it, not stall the parent indefinitely inside a TCP write.
+		conn.SetWriteDeadline(time.Now().Add(p.timeout))
 		if _, err := conn.Write(buf); err != nil {
 			if cerr := p.waitChildErr(); cerr != nil {
 				panic(cerr)
@@ -425,7 +435,7 @@ func (p *Parent) Close() error {
 	for _, conn := range p.conns {
 		conn.Close()
 	}
-	os.RemoveAll(p.dir)
+	p.cleanup()
 	return firstErr
 }
 

@@ -34,9 +34,24 @@ const (
 	EnvRank = "DIFFUSE_RANK"
 	// EnvRanks is the total rank count.
 	EnvRanks = "DIFFUSE_RANKS"
-	// EnvPeers is the rendezvous directory holding the parent's control
-	// socket (parent.sock) and each rank's peer socket (rank-N.sock).
+	// EnvPeers is the parent-assigned rendezvous address set: the
+	// parent's control address first, then one peer listen address per
+	// rank, comma-separated (AddrSet.Render). For unix the addresses are
+	// socket paths in a private directory; for tcp they are host:port
+	// endpoints.
 	EnvPeers = "DIFFUSE_PEERS"
+	// EnvTransport selects the dial/listen transport ("unix", the
+	// default, or "tcp"). The parent sets it explicitly on every rank so
+	// the whole launch agrees; see Provider.
+	EnvTransport = "DIFFUSE_DIST_TRANSPORT"
+	// EnvBind is the host the tcp transport binds and dials (default
+	// 127.0.0.1). Setting it to a routable interface lets ranks span
+	// machines.
+	EnvBind = "DIFFUSE_DIST_BIND"
+	// EnvFaults is a fault-injection schedule (faultx.ParseSchedule
+	// syntax) each rank wraps around its peer transport — the scripted
+	// chaos harness of the fault-injection tests. Unset means no faults.
+	EnvFaults = "DIFFUSE_DIST_FAULTS"
 	// EnvTimeout optionally overrides the transport receive deadline
 	// (a Go duration string, e.g. "2s"; default 60s) — the bound after
 	// which a missing peer message surfaces as an error instead of a

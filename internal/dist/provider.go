@@ -1,0 +1,231 @@
+package dist
+
+// The transport provider seam: everything in this package that moves
+// bytes — the parent control stream and the rank-to-rank peer mesh — goes
+// through net.Conn, and the only transport-specific pieces are how
+// addresses are assigned, how a listener is opened, and how a peer is
+// dialed. Provider factors exactly those three out, so the wire protocol,
+// the mailbox transport, and the control loop are shared verbatim between
+// unix-domain sockets (one host, the default) and TCP (ranks spanning
+// machines).
+//
+// Address assignment is parent-driven: the parent allocates the full
+// address set of a launch before spawning any rank and renders it into
+// DIFFUSE_PEERS (parent address first, then one listen address per rank,
+// comma-separated), so every process derives every endpoint from the
+// environment alone — no discovery protocol. For unix the addresses are
+// socket paths in a private rendezvous directory; for TCP they are
+// host:port endpoints reserved up front (bind-then-release, see
+// tcpProvider) on the loopback interface or on DIFFUSE_DIST_BIND.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Provider abstracts one transport's dial, listen, and address-assignment
+// behaviour. Implementations must be safe for concurrent use.
+type Provider interface {
+	// Name is the transport's selector value ("unix", "tcp") — what
+	// DIFFUSE_DIST_TRANSPORT carries to the rank processes.
+	Name() string
+	// Allocate reserves the address set of one launch: the parent control
+	// address plus one peer listen address per rank. cleanup releases
+	// whatever backs the reservation (the rendezvous directory for unix;
+	// nothing for TCP) and must be safe to call exactly once.
+	Allocate(ranks int) (addrs *AddrSet, cleanup func(), err error)
+	// Listen opens the listener a previously allocated address names.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a previously allocated address, bounding the
+	// attempt by timeout.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// AddrSet is the rendezvous address set of one distributed launch.
+type AddrSet struct {
+	// Parent is the parent's control-stream listen address.
+	Parent string
+	// Ranks holds rank r's peer-mesh listen address at index r.
+	Ranks []string
+}
+
+// Render encodes the address set for DIFFUSE_PEERS: parent first, then
+// rank addresses in rank order, comma-separated. Neither unix socket
+// paths (a fresh MkdirTemp directory) nor host:port endpoints contain
+// commas.
+func (a *AddrSet) Render() string {
+	return strings.Join(append([]string{a.Parent}, a.Ranks...), ",")
+}
+
+// ParseAddrSet decodes a DIFFUSE_PEERS value for the given rank count.
+func ParseAddrSet(s string, ranks int) (*AddrSet, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != ranks+1 {
+		return nil, fmt.Errorf("dist: %s names %d addresses, want %d (parent + %d ranks)", EnvPeers, len(parts), ranks+1, ranks)
+	}
+	for i, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("dist: %s entry %d is empty", EnvPeers, i)
+		}
+	}
+	return &AddrSet{Parent: parts[0], Ranks: parts[1:]}, nil
+}
+
+// providerByName resolves a transport selector; empty falls back to
+// DIFFUSE_DIST_TRANSPORT and then to unix.
+func providerByName(name string) (Provider, error) {
+	if name == "" {
+		name = os.Getenv(EnvTransport)
+	}
+	switch name {
+	case "", "unix":
+		return unixProvider{}, nil
+	case "tcp":
+		return tcpProvider{}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown transport %q (want unix or tcp)", name)
+	}
+}
+
+// unixProvider is the single-host default: socket files in a private
+// rendezvous directory, removed at cleanup.
+type unixProvider struct{}
+
+func (unixProvider) Name() string { return "unix" }
+
+func (unixProvider) Allocate(ranks int) (*AddrSet, func(), error) {
+	dir, err := os.MkdirTemp("", "diffuse-dist-")
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: rendezvous dir: %w", err)
+	}
+	a := &AddrSet{Parent: filepath.Join(dir, "parent.sock"), Ranks: make([]string, ranks)}
+	for r := range a.Ranks {
+		a.Ranks[r] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", r))
+	}
+	return a, func() { os.RemoveAll(dir) }, nil
+}
+
+func (unixProvider) Listen(addr string) (net.Listener, error) {
+	return net.Listen("unix", addr)
+}
+
+func (unixProvider) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("unix", addr, timeout)
+}
+
+// tcpProvider runs the identical mesh over TCP so ranks can span
+// machines. Addresses are reserved by binding :0 on the configured host
+// (DIFFUSE_DIST_BIND, default loopback), recording the kernel-assigned
+// port, and releasing the listener: the rank re-binds the recorded
+// endpoint when it starts. The reserve-release window leaves a small
+// reuse race, but a stolen port surfaces immediately as a bind failure
+// at rank startup (a permanent error — no retry budget burned), and on
+// the loopback rendezvous this trades a discovery protocol for one
+// environment variable.
+type tcpProvider struct{}
+
+func (tcpProvider) Name() string { return "tcp" }
+
+func bindHost() string {
+	if h := os.Getenv(EnvBind); h != "" {
+		return h
+	}
+	return "127.0.0.1"
+}
+
+func (tcpProvider) Allocate(ranks int) (*AddrSet, func(), error) {
+	host := bindHost()
+	reserve := func() (string, error) {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			return "", fmt.Errorf("dist: reserve tcp port on %s: %w", host, err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr, nil
+	}
+	a := &AddrSet{Ranks: make([]string, ranks)}
+	var err error
+	if a.Parent, err = reserve(); err != nil {
+		return nil, nil, err
+	}
+	for r := range a.Ranks {
+		if a.Ranks[r], err = reserve(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, func() {}, nil
+}
+
+func (tcpProvider) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func (tcpProvider) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	// Halo and control frames are small and latency-bound; Nagle buys
+	// nothing on a message protocol that already batches.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return conn, nil
+}
+
+// retryableDialErr classifies a dial failure: transient failures can heal
+// while the peer's listener comes up (the socket file not created yet,
+// nothing bound to the port yet, a transient timeout) and are worth
+// retrying; permanent ones — unparsable or unresolvable addresses,
+// unsupported networks — never heal, and retrying them would burn the
+// whole retry budget on a misconfiguration before reporting it.
+func retryableDialErr(err error) bool {
+	var ae *net.AddrError
+	var dnse *net.DNSError
+	if errors.As(err, &ae) || errors.As(err, &dnse) {
+		return false
+	}
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.EAFNOSUPPORT) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// ENOENT: unix socket file not created yet. ECONNREFUSED/ECONNRESET:
+	// the endpoint exists but nothing is accepting yet (the TCP shape of
+	// "listener not up"). Anything else unknown is treated as transient —
+	// the deadline still bounds it.
+	return true
+}
+
+// dialRetry dials through the provider, retrying transient failures with
+// exponential backoff until the deadline; permanent failures (bad
+// addresses) fail fast without consuming the budget.
+func dialRetry(p Provider, addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := time.Millisecond
+	for {
+		conn, err := p.Dial(addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if !retryableDialErr(err) {
+			return nil, fmt.Errorf("dial %s: permanent failure: %w", addr, err)
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

@@ -6,9 +6,9 @@ import (
 	"io"
 	"net"
 	"os"
-	"path/filepath"
 	"strconv"
 
+	"diffuse/internal/dist/faultx"
 	"diffuse/internal/ir"
 	"diffuse/internal/kir"
 	"diffuse/internal/legion"
@@ -72,13 +72,21 @@ func runRank() (err error) {
 	if err != nil || ranks < 1 || me < 0 || me >= ranks {
 		return fmt.Errorf("bad %s/%s: %q of %q", EnvRank, EnvRanks, os.Getenv(EnvRank), os.Getenv(EnvRanks))
 	}
-	dir := os.Getenv(EnvPeers)
-	if dir == "" {
+	peers := os.Getenv(EnvPeers)
+	if peers == "" {
 		return fmt.Errorf("%s not set", EnvPeers)
+	}
+	prov, err := providerByName(os.Getenv(EnvTransport))
+	if err != nil {
+		return err
+	}
+	addrs, err := ParseAddrSet(peers, ranks)
+	if err != nil {
+		return err
 	}
 	timeout := distTimeout()
 
-	parent, err := dialRetry(filepath.Join(dir, "parent.sock"), timeout)
+	parent, err := dialRetry(prov, addrs.Parent, timeout)
 	if err != nil {
 		return fmt.Errorf("connect to parent: %w", err)
 	}
@@ -87,11 +95,25 @@ func runRank() (err error) {
 		return fmt.Errorf("hello to parent: %w", err)
 	}
 
-	tx, err := connectMesh(dir, me, ranks, timeout)
+	tx, err := connectMesh(prov, addrs, me, timeout)
 	if err != nil {
 		return err
 	}
 	defer tx.Close()
+
+	// The fault-injection harness wraps the mesh when a schedule is
+	// scripted in the environment: the wrapper intercepts every message
+	// boundary and applies the (rank, peer, occurrence)-matched faults
+	// deterministically. haloTx stays the raw mesh otherwise — zero cost
+	// in the common case.
+	var haloTx legion.HaloTransport = tx
+	if spec := os.Getenv(EnvFaults); spec != "" {
+		sched, err := faultx.ParseSchedule(spec)
+		if err != nil {
+			return fmt.Errorf("rank %d: %s: %w", me, EnvFaults, err)
+		}
+		haloTx = faultx.Wrap(tx, me, sched)
+	}
 
 	rt := legion.New(legion.ModeReal, machine.DefaultA100(ranks))
 	if os.Getenv(EnvCodegen) == "off" {
@@ -100,7 +122,7 @@ func runRank() (err error) {
 	if os.Getenv(EnvFeedback) == "off" {
 		rt.SetFeedback(legion.FeedbackOff)
 	}
-	rt.SetDistributed(me, ranks, tx)
+	rt.SetDistributed(me, ranks, haloTx)
 
 	rs := &rankState{
 		me:       me,
@@ -139,9 +161,145 @@ func (rs *rankState) kernel(ref int64, fp string) (*kir.Kernel, error) {
 	return k, nil
 }
 
-// controlLoop processes the replicated control stream until shutdown.
-// Every rank executes every message (the drains inside host reads and
-// writes are collective), but only rank 0 sends reply payloads.
+// ctlOp is one decoded control message, ready to execute. Decode happens
+// on a dedicated goroutine so the (often long) group drains a task or
+// read triggers overlap with reading and decoding the messages behind it
+// in the stream; the store/kernel tables are only ever touched by the
+// decoder, in stream order, so a decoded *ir.Task is immutable by the
+// time the executor sees it.
+type ctlOp struct {
+	tag  uint64
+	task *ir.Task   // msgTask
+	st   *ir.Store  // msgWriteAll/32, msgReadAll/32, msgReadAt (resolved at decode time)
+	id   ir.StoreID // msgFree
+	off  int64      // msgReadAt
+	f64s []float64  // msgWriteAll
+	f32s []float32  // msgWriteAll32
+	err  error      // decode or stream failure; terminal
+}
+
+// decodeLoop reads and decodes the control stream ahead of execution,
+// feeding decoded operations into ops. The channel's bound is the
+// decode-ahead window: a rank stuck in a long drain backpressures the
+// decoder instead of buffering the stream without limit. quit tears the
+// loop down when the executor returns first (shutdown or error).
+func (rs *rankState) decodeLoop(parent net.Conn, ops chan<- ctlOp, quit <-chan struct{}) {
+	emit := func(op ctlOp) bool {
+		select {
+		case ops <- op:
+			return op.err == nil && op.tag != msgShutdown
+		case <-quit:
+			return false
+		}
+	}
+	for {
+		tag, body, err := readFrame(parent)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("rank %d: parent closed the control stream before shutdown", rs.me)
+			} else {
+				err = fmt.Errorf("rank %d: control stream: %w", rs.me, err)
+			}
+			emit(ctlOp{err: err})
+			return
+		}
+		op := ctlOp{tag: tag}
+		switch tag {
+		case msgStoreNew:
+			// Table mutations are decode-side only: the store must exist
+			// before any later message in the stream references it, and the
+			// executor never looks stores up by id.
+			s, err := decodeStoreNew(body)
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: %w", rs.me, err)
+				break
+			}
+			rs.stores[s.ID()] = s
+			continue // nothing to execute
+		case msgKernel:
+			ref, rest, err := readI64(body)
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: kernel message: %w", rs.me, err)
+				break
+			}
+			k, err := kir.DecodeKernel(rest)
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: kernel %d: %w", rs.me, ref, err)
+				break
+			}
+			rs.kernels[ref] = k
+			continue
+		case msgTask:
+			op.task, op.err = ir.DecodeTask(body, rs.store, rs.kernel)
+			if op.err != nil {
+				op.err = fmt.Errorf("rank %d: %w", rs.me, op.err)
+			}
+		case msgWriteAll:
+			var id ir.StoreID
+			id, op.f64s, op.err = decodeF64s(body)
+			if op.err == nil {
+				op.st, op.err = rs.store(id)
+			}
+			if op.err != nil {
+				op.err = fmt.Errorf("rank %d: WriteAll: %w", rs.me, op.err)
+			}
+		case msgWriteAll32:
+			var id ir.StoreID
+			id, op.f32s, op.err = decodeF32s(body)
+			if op.err == nil {
+				op.st, op.err = rs.store(id)
+			}
+			if op.err != nil {
+				op.err = fmt.Errorf("rank %d: WriteAll32: %w", rs.me, op.err)
+			}
+		case msgFree:
+			id, _, err := readI64(body)
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: Free: %w", rs.me, err)
+				break
+			}
+			op.id = ir.StoreID(id)
+			// The free is safe to apply to the decode table immediately:
+			// control replication guarantees no later message references a
+			// freed store. The runtime-side free happens at execution time.
+			delete(rs.stores, op.id)
+		case msgDrain:
+		case msgReadAll, msgReadAll32:
+			id, _, err := readI64(body)
+			if err == nil {
+				op.st, err = rs.store(ir.StoreID(id))
+			}
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: read: %w", rs.me, err)
+			}
+		case msgReadAt:
+			id, rest, err := readI64(body)
+			var off int64
+			if err == nil {
+				off, _, err = readI64(rest)
+			}
+			if err == nil {
+				op.st, err = rs.store(ir.StoreID(id))
+			}
+			if err != nil {
+				op.err = fmt.Errorf("rank %d: ReadAt: %w", rs.me, err)
+				break
+			}
+			op.off = off
+		case msgShutdown:
+		default:
+			op.err = fmt.Errorf("rank %d: unknown control message %d", rs.me, tag)
+		}
+		if !emit(op) {
+			return
+		}
+	}
+}
+
+// controlLoop processes the replicated control stream until shutdown,
+// decoding ahead of execution on a separate goroutine. Every rank
+// executes every message (the drains inside host reads and writes are
+// collective), but only rank 0 sends reply payloads.
 func (rs *rankState) controlLoop(parent net.Conn) error {
 	reply := func(payload []byte) error {
 		if rs.me != 0 {
@@ -149,106 +307,39 @@ func (rs *rankState) controlLoop(parent net.Conn) error {
 		}
 		return writeFrame(parent, msgReply, payload)
 	}
-	for {
-		tag, body, err := readFrame(parent)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return fmt.Errorf("rank %d: parent closed the control stream before shutdown", rs.me)
-			}
-			return fmt.Errorf("rank %d: control stream: %w", rs.me, err)
+
+	ops := make(chan ctlOp, 128)
+	quit := make(chan struct{})
+	defer close(quit)
+	go rs.decodeLoop(parent, ops, quit)
+
+	for op := range ops {
+		if op.err != nil {
+			return op.err
 		}
-		switch tag {
-		case msgStoreNew:
-			s, err := decodeStoreNew(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: %w", rs.me, err)
-			}
-			rs.stores[s.ID()] = s
-		case msgKernel:
-			ref, rest, err := readI64(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: kernel message: %w", rs.me, err)
-			}
-			k, err := kir.DecodeKernel(rest)
-			if err != nil {
-				return fmt.Errorf("rank %d: kernel %d: %w", rs.me, ref, err)
-			}
-			rs.kernels[ref] = k
+		switch op.tag {
 		case msgTask:
-			t, err := ir.DecodeTask(body, rs.store, rs.kernel)
-			if err != nil {
-				return fmt.Errorf("rank %d: %w", rs.me, err)
-			}
-			rs.rt.Execute(t)
+			rs.rt.Execute(op.task)
 		case msgWriteAll:
-			id, data, err := decodeF64s(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: WriteAll: %w", rs.me, err)
-			}
-			s, err := rs.store(id)
-			if err != nil {
-				return err
-			}
-			rs.rt.WriteAll(s, data)
+			rs.rt.WriteAll(op.st, op.f64s)
 		case msgWriteAll32:
-			id, data, err := decodeF32s(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: WriteAll32: %w", rs.me, err)
-			}
-			s, err := rs.store(id)
-			if err != nil {
-				return err
-			}
-			rs.rt.WriteAll32(s, data)
+			rs.rt.WriteAll32(op.st, op.f32s)
 		case msgFree:
-			id, _, err := readI64(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: Free: %w", rs.me, err)
-			}
-			rs.rt.FreeStore(ir.StoreID(id))
-			delete(rs.stores, ir.StoreID(id))
+			rs.rt.FreeStore(op.id)
 		case msgDrain:
 			rs.rt.DrainShardGroup()
 		case msgReadAll:
-			id, _, err := readI64(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: ReadAll: %w", rs.me, err)
-			}
-			s, err := rs.store(ir.StoreID(id))
-			if err != nil {
-				return err
-			}
-			data := rs.rt.ReadAll(s)
+			data := rs.rt.ReadAll(op.st)
 			if err := reply(f64sToBits(data)); err != nil {
 				return fmt.Errorf("rank %d: reply: %w", rs.me, err)
 			}
 		case msgReadAll32:
-			id, _, err := readI64(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: ReadAll32: %w", rs.me, err)
-			}
-			s, err := rs.store(ir.StoreID(id))
-			if err != nil {
-				return err
-			}
-			data := rs.rt.ReadAll32(s)
+			data := rs.rt.ReadAll32(op.st)
 			if err := reply(f32sToBits(data)); err != nil {
 				return fmt.Errorf("rank %d: reply: %w", rs.me, err)
 			}
 		case msgReadAt:
-			id, rest, err := readI64(body)
-			if err != nil {
-				return fmt.Errorf("rank %d: ReadAt: %w", rs.me, err)
-			}
-			off, _, err := readI64(rest)
-			if err != nil {
-				return fmt.Errorf("rank %d: ReadAt: %w", rs.me, err)
-			}
-			s, err := rs.store(ir.StoreID(id))
-			if err != nil {
-				return err
-			}
-			v, ok := rs.rt.ReadAt(s, int(off))
+			v, ok := rs.rt.ReadAt(op.st, int(op.off))
 			payload := make([]byte, 0, 9)
 			if ok {
 				payload = append(payload, 1)
@@ -261,8 +352,7 @@ func (rs *rankState) controlLoop(parent net.Conn) error {
 			}
 		case msgShutdown:
 			return nil
-		default:
-			return fmt.Errorf("rank %d: unknown control message %d", rs.me, tag)
 		}
 	}
+	return fmt.Errorf("rank %d: control stream ended unexpectedly", rs.me)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 )
@@ -23,12 +22,13 @@ func distTimeout() time.Duration {
 	return defaultTimeout
 }
 
-// Transport is the rank-to-rank peer mesh: one unix-socket connection per
-// peer, a reader goroutine per connection draining frames into per-tag
-// mailboxes, and blocking tagged receives with a deadline. Sends never
-// block on the receiver's progress (the kernel socket buffer plus the
-// receiver's always-running reader goroutine absorb them) — the property
-// the distributed drain's deadlock-freedom argument rests on.
+// Transport is the rank-to-rank peer mesh: one connection per peer (over
+// whichever Provider the launch selected), a reader goroutine per
+// connection draining frames into per-tag mailboxes, and blocking tagged
+// receives with a deadline. Sends never block on the receiver's progress
+// (the kernel socket buffer plus the receiver's always-running reader
+// goroutine absorb them) — the property the distributed drain's
+// deadlock-freedom argument rests on.
 type Transport struct {
 	me      int
 	links   []*peerLink // indexed by rank; nil at me
@@ -74,7 +74,7 @@ func (l *peerLink) read() {
 	}
 }
 
-func (l *peerLink) send(tag uint64, data []byte) error {
+func (l *peerLink) send(tag uint64, data []byte, timeout time.Duration) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
 	// Encode into the reusable per-peer buffer and write the whole frame
@@ -85,6 +85,10 @@ func (l *peerLink) send(tag uint64, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("send to rank %d: %w", l.rank, err)
 	}
+	// A write deadline bounds the send against a peer that stopped
+	// draining entirely (its kernel buffer full, its reader gone): over
+	// TCP such a write can otherwise block indefinitely.
+	l.conn.SetWriteDeadline(time.Now().Add(timeout))
 	if _, err := l.conn.Write(buf); err != nil {
 		return fmt.Errorf("send to rank %d: %w", l.rank, err)
 	}
@@ -123,7 +127,7 @@ func (t *Transport) Send(peer int, tag uint64, data []byte) error {
 	if l == nil {
 		return fmt.Errorf("rank %d has no link to rank %d", t.me, peer)
 	}
-	return l.send(tag, data)
+	return l.send(tag, data, t.timeout)
 }
 
 // Recv implements legion.HaloTransport.
@@ -151,40 +155,34 @@ func (t *Transport) Close() {
 	}
 }
 
-func rankSock(dir string, rank int) string {
-	return filepath.Join(dir, fmt.Sprintf("rank-%d.sock", rank))
-}
-
-// dialRetry dials a unix socket, retrying while the listener comes up.
-func dialRetry(path string, timeout time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		conn, err := net.DialTimeout("unix", path, timeout)
-		if err == nil {
-			return conn, nil
-		}
-		if !time.Now().Before(deadline) {
-			return nil, fmt.Errorf("dial %s: %w", path, err)
-		}
-		time.Sleep(2 * time.Millisecond)
+// CloseLink severs the connection to one peer while leaving the rest of
+// the mesh intact — the hook the fault-injection wrapper (faultx) uses to
+// model a failed network link. Subsequent operations on the link fail on
+// both ends: locally through the sticky reader error, remotely when the
+// peer's reads hit the closed connection.
+func (t *Transport) CloseLink(peer int) {
+	if l := t.link(peer); l != nil {
+		l.conn.Close()
 	}
 }
 
-// connectMesh builds the full peer mesh of rank me: listen on this rank's
-// socket, dial every lower rank (introducing ourselves with a hello
-// frame), and accept every higher rank. Every rank listens before it
-// dials, so the dial-low/accept-high orientation cannot deadlock; dials
-// retry while lower-rank listeners start up.
-func connectMesh(dir string, me, ranks int, timeout time.Duration) (*Transport, error) {
+// connectMesh builds the full peer mesh of rank me over the given
+// transport: listen on this rank's assigned address, dial every lower
+// rank (introducing ourselves with a hello frame), and accept every
+// higher rank. Every rank listens before it dials, so the
+// dial-low/accept-high orientation cannot deadlock; dials retry while
+// lower-rank listeners start up.
+func connectMesh(p Provider, addrs *AddrSet, me int, timeout time.Duration) (*Transport, error) {
+	ranks := len(addrs.Ranks)
 	t := &Transport{me: me, links: make([]*peerLink, ranks), timeout: timeout}
-	ln, err := net.Listen("unix", rankSock(dir, me))
+	ln, err := p.Listen(addrs.Ranks[me])
 	if err != nil {
-		return nil, fmt.Errorf("rank %d listen: %w", me, err)
+		return nil, fmt.Errorf("rank %d listen on %s: %w", me, addrs.Ranks[me], err)
 	}
 	defer ln.Close()
 
 	for peer := 0; peer < me; peer++ {
-		conn, err := dialRetry(rankSock(dir, peer), timeout)
+		conn, err := dialRetry(p, addrs.Ranks[peer], timeout)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("rank %d connect to rank %d: %w", me, peer, err)

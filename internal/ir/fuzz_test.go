@@ -1,0 +1,71 @@
+package ir_test
+
+// Fuzz harness for the control-stream wire decoders. Every rank feeds
+// parent-supplied bytes straight into DecodeTask (and the dependence and
+// span codecs), so the decoders are a trust boundary: malformed or
+// truncated input must come back as an error — never a panic, and never
+// an allocation sized by an attacker-controlled count rather than the
+// input length (rbuf.count caps every count against the bytes actually
+// present). The committed seed corpus under
+// testdata/fuzz/FuzzDecodeStream starts the exploration from valid
+// encodings plus canonical corruptions of them.
+
+import (
+	"testing"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+func FuzzDecodeStream(f *testing.F) {
+	// Seeds: a realistic task encoding plus edge shapes. The corpus files
+	// add valid encodings with tiling partitions and corrupted variants.
+	factory := &ir.Factory{}
+	store := factory.NewStore("s", []int{16})
+	task := &ir.Task{
+		Name:   "seed",
+		Launch: ir.MakeRect(ir.Point{0}, ir.Point{4}),
+		Seq:    7,
+		Args: []ir.Arg{{
+			Store: store,
+			Part:  ir.ReplicateOver(ir.MakeRect(ir.Point{0}, ir.Point{4})),
+			Priv:  ir.ReadWrite,
+		}},
+	}
+	if enc, err := ir.EncodeTask(task, -1); err == nil {
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2]) // truncated mid-structure
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0}) // version ok, flags, then nothing
+
+	resolveStore := func(ir.StoreID) (*ir.Store, error) { return store, nil }
+	resolveKernel := func(int64, string) (*kir.Kernel, error) { return nil, nil }
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The decoders must return an error or a well-formed value; the
+		// fuzzer itself catches panics and runaway allocation.
+		dec, err := ir.DecodeTask(data, resolveStore, resolveKernel)
+		if err == nil {
+			// A successfully decoded task must survive the round trip the
+			// distributed runtime depends on: re-encoding cannot fail, and
+			// the re-encoded bytes must decode again.
+			reenc, err := ir.EncodeTask(dec, -1)
+			if err != nil {
+				t.Fatalf("decoded task does not re-encode: %v", err)
+			}
+			if _, err := ir.DecodeTask(reenc, resolveStore, resolveKernel); err != nil {
+				t.Fatalf("re-encoded task does not decode: %v", err)
+			}
+		}
+
+		rest := data
+		if _, r, err := ir.DecodeStageDep(rest); err == nil {
+			rest = r
+		}
+		if _, r, err := ir.DecodeSpan(rest); err == nil {
+			rest = r
+		}
+		_ = rest
+	})
+}

@@ -124,22 +124,35 @@ func distTag(seq uint64, kind, id, sub int) uint64 {
 	return seq<<32 | uint64(kind&0xF)<<28 | uint64(id&0xFFFFF)<<8 | uint64(sub&0xFF)
 }
 
-// bufBytes encodes elements [lo, hi) of a buffer as IEEE-754 float64 bit
-// patterns (8 bytes per element, regardless of dtype — widening an f32 or
-// i32 element to float64 and back is exact, so the round trip is
-// bit-lossless at the destination dtype).
-func bufBytes(b kir.Buffer, lo, hi int) []byte {
-	out := make([]byte, 0, (hi-lo)*8)
+// appendBufBytes appends elements [lo, hi) of a buffer as IEEE-754
+// float64 bit patterns (8 bytes per element, regardless of dtype —
+// widening an f32 or i32 element to float64 and back is exact, so the
+// round trip is bit-lossless at the destination dtype). Appending into a
+// caller-owned scratch buffer keeps the per-message encode allocation-free:
+// the transport copies the payload into its own frame buffer before the
+// send returns, so the scratch is immediately reusable.
+func appendBufBytes(dst []byte, b kir.Buffer, lo, hi int) []byte {
 	for i := lo; i < hi; i++ {
 		bits := math.Float64bits(b.Get(i))
-		out = append(out,
+		dst = append(dst,
 			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
 			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 	}
-	return out
+	return dst
 }
 
-// patchBuf decodes a bufBytes payload into elements [lo, lo+n) of b,
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// patchBuf decodes an appendBufBytes payload into elements [lo, lo+n) of b,
 // skipping elements covered by cuts — flat spans whose local contents are
 // newer than the sender's (the receiver's own later writes, or a fold
 // result the sender's entry predates).
@@ -203,6 +216,17 @@ type distGroupState struct {
 	// lists the entries reducing into each store.
 	myWrites map[ir.StoreID][]entryWrite
 	folds    map[ir.StoreID][]int
+
+	// scratch is the reusable message-encode buffer: every outbound
+	// payload in this drain is appended here, sent (the transport copies),
+	// and the capacity carries over to the next message.
+	scratch []byte
+	// staged holds halo sub-messages received as part of a batched frame
+	// but not yet consumed by their wfHalo node, keyed sender<<32|nodeID.
+	// batched marks which (sender<<32|producer entry) batch frames have
+	// been received and unpacked.
+	staged  map[uint64][]byte
+	batched map[uint64]bool
 }
 
 type entryWrite struct {
@@ -283,26 +307,35 @@ func (ds *distGroupState) recv(peer int, tag uint64, entry int) []byte {
 // by entry e the moment unit(e, me) completes: for each consuming shard,
 // the intersection of this rank's write span with the consumer's span —
 // the same per-partition span intersection that built the halo edges.
+//
+// All sub-messages bound for one consumer rank travel in a single batched
+// frame tagged by the producing entry: a sequence of [nodeID u64][len u64]
+// [len bytes] triples. Batching collapses the per-dependence frames of a
+// multi-store producer into one syscall per peer, and the receiver's
+// staging pass (stagedHalo) re-demultiplexes by node id — inclusion on the
+// sender and expectation on the receiver derive from the same symmetric
+// span intersections, so every sub-message is consumed exactly once.
 func (ds *distGroupState) sendHalos(e int) {
-	for di := range ds.g.deps {
-		dep := &ds.g.deps[di]
-		if dep.Prod != e || dep.Kind != ir.DepHalo {
+	for cs := 0; cs < ds.shards; cs++ {
+		if cs == ds.me {
 			continue
 		}
-		myProd := ds.spanOf(e, ds.me, dep.Store)
-		if myProd.Empty() {
-			continue
-		}
-		myWrite := ds.writeSpanOf(e, ds.me, dep.Store)
-		for cs := 0; cs < ds.shards; cs++ {
-			if cs == ds.me {
+		batch := ds.scratch[:0]
+		subs := 0
+		for di := range ds.g.deps {
+			dep := &ds.g.deps[di]
+			if dep.Prod != e || dep.Kind != ir.DepHalo {
+				continue
+			}
+			myProd := ds.spanOf(e, ds.me, dep.Store)
+			if myProd.Empty() {
 				continue
 			}
 			consSp := ds.spanOf(dep.Cons, cs, dep.Store)
 			if consSp.Empty() || !myProd.Overlaps(consSp) {
 				continue
 			}
-			w := intersectSpan(myWrite, consSp)
+			w := intersectSpan(ds.writeSpanOf(e, ds.me, dep.Store), consSp)
 			if w.Empty() {
 				continue
 			}
@@ -311,9 +344,54 @@ func (ds *distGroupState) sendHalos(e int) {
 				continue
 			}
 			buf := ds.storeBuf(e, dep.Store)
-			ds.send(cs, distTag(ds.seq, tagKindHalo, int(nid), 0), bufBytes(buf, w.Lo, w.Hi))
+			batch = appendU64(batch, uint64(uint32(nid)))
+			batch = appendU64(batch, uint64((w.Hi-w.Lo)*8))
+			batch = appendBufBytes(batch, buf, w.Lo, w.Hi)
+			subs++
+		}
+		ds.scratch = batch
+		if subs > 0 {
+			ds.send(cs, distTag(ds.seq, tagKindHalo, e, 0), batch)
 		}
 	}
+}
+
+// stagedHalo returns the halo payload for (sender, halo node nid). The
+// first consuming node of a (sender, producing entry) pair receives the
+// sender's whole batched frame and stages every sub-message by node id;
+// later nodes of the same pair pop their staged payload without touching
+// the transport.
+func (ds *distGroupState) stagedHalo(sender int, nid int32, prod int) []byte {
+	skey := uint64(sender)<<32 | uint64(uint32(nid))
+	if data, ok := ds.staged[skey]; ok {
+		delete(ds.staged, skey)
+		return data
+	}
+	bkey := uint64(sender)<<32 | uint64(prod)
+	if ds.batched[bkey] {
+		panic(fmt.Sprintf("legion: rank %d: halo batch from rank %d (entry %d) has no sub-message for node %d", ds.me, sender, prod, nid))
+	}
+	ds.batched[bkey] = true
+	data := ds.recv(sender, distTag(ds.seq, tagKindHalo, prod, 0), prod)
+	for off := 0; off < len(data); {
+		if len(data)-off < 16 {
+			panic(fmt.Sprintf("legion: rank %d: truncated halo batch from rank %d (entry %d): %d bytes at offset %d", ds.me, sender, prod, len(data), off))
+		}
+		sub := readU64(data[off:])
+		ln := readU64(data[off+8:])
+		off += 16
+		if ln > uint64(len(data)-off) {
+			panic(fmt.Sprintf("legion: rank %d: truncated halo batch from rank %d (entry %d): sub-message %d wants %d bytes, %d remain", ds.me, sender, prod, sub, ln, len(data)-off))
+		}
+		ds.staged[uint64(sender)<<32|sub] = data[off : off+int(ln)]
+		off += int(ln)
+	}
+	payload, ok := ds.staged[skey]
+	if !ok {
+		panic(fmt.Sprintf("legion: rank %d: halo batch from rank %d (entry %d) has no sub-message for node %d", ds.me, sender, prod, nid))
+	}
+	delete(ds.staged, skey)
+	return payload
 }
 
 // haloNodeID looks up the DAG node of (dep record, consumer shard).
@@ -349,7 +427,7 @@ func (ds *distGroupState) recvHalo(nid int32) {
 		if w.Empty() {
 			continue
 		}
-		data := ds.recv(sp, distTag(ds.seq, tagKindHalo, int(nid), 0), dep.Prod)
+		data := ds.stagedHalo(sp, nid, dep.Prod)
 		if len(data) != (w.Hi-w.Lo)*8 {
 			panic(fmt.Sprintf("legion: rank %d halo from rank %d: got %d bytes, want %d", ds.me, sp, len(data), (w.Hi-w.Lo)*8))
 		}
@@ -377,10 +455,10 @@ func (ds *distGroupState) runBarrier(nid int32) {
 			sub := (bi*len(plan.redArgs) + ri) & 0xFF
 			tag := distTag(ds.seq, tagKindPartials, int(nid), sub)
 			if myHi > myLo {
-				payload := bufBytes(part, myLo, myHi)
+				ds.scratch = appendBufBytes(ds.scratch[:0], part, myLo, myHi)
 				for peer := 0; peer < ds.shards; peer++ {
 					if peer != ds.me {
-						ds.send(peer, tag, payload)
+						ds.send(peer, tag, ds.scratch)
 					}
 				}
 			}
@@ -431,9 +509,10 @@ func (ds *distGroupState) syncRedDests(nid int32, bi, e int) {
 		sub := (bi*len(plan.redArgs) + ri) & 0xFF
 		tag := distTag(ds.seq, tagKindRedDest, int(nid), sub)
 		if ds.me == owner {
+			ds.scratch = appendBufBytes(ds.scratch[:0], buf, 0, 1)
 			for peer := 0; peer < ds.shards; peer++ {
 				if peer != ds.me {
-					ds.send(peer, tag, bufBytes(buf, 0, 1))
+					ds.send(peer, tag, ds.scratch)
 				}
 			}
 		} else {
@@ -463,10 +542,10 @@ func (ds *distGroupState) writeback() {
 			tag := distTag(ds.seq, tagKindWriteback, e, i)
 			mySp := es.spans[i*ds.shards+ds.me]
 			if !mySp.Empty() {
-				payload := bufBytes(ap.data, mySp.Lo, mySp.Hi)
+				ds.scratch = appendBufBytes(ds.scratch[:0], ap.data, mySp.Lo, mySp.Hi)
 				for peer := 0; peer < ds.shards; peer++ {
 					if peer != ds.me {
-						ds.send(peer, tag, payload)
+						ds.send(peer, tag, ds.scratch)
 					}
 				}
 			}
@@ -524,6 +603,8 @@ func (rt *Runtime) runWavefrontDist(g *shardGroup) {
 		foldDone:  make([]bool, len(g.entries)),
 		myWrites:  map[ir.StoreID][]entryWrite{},
 		folds:     map[ir.StoreID][]int{},
+		staged:    map[uint64][]byte{},
+		batched:   map[uint64]bool{},
 	}
 	rt.distSeq++
 
@@ -587,6 +668,10 @@ func (rt *Runtime) runWavefrontDist(g *shardGroup) {
 	}
 	if done != len(d.nodes) {
 		panic(fmt.Sprintf("legion: distributed wavefront DAG stalled at %d/%d nodes (cycle?)", done, len(d.nodes)))
+	}
+
+	if len(ds.staged) != 0 {
+		panic(fmt.Sprintf("legion: rank %d: %d staged halo sub-messages left unconsumed after drain", ds.me, len(ds.staged)))
 	}
 
 	ds.writeback()
