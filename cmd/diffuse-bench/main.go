@@ -24,6 +24,13 @@
 // than -comparetol (default 25%):
 //
 //	diffuse-bench -compare /tmp/fresh.json BENCH_real.json
+//
+// And the multi-tenant service-mode bench: aggregate streams/sec at each
+// tenant count against one in-process diffuse-serve front end (see
+// docs/SERVING.md):
+//
+//	diffuse-bench -serve                         # 1, 4, and 16 tenants
+//	diffuse-bench -serve -tenants 1,8 -streams 16
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"diffuse/internal/dist"
 	"diffuse/internal/legion"
 	"diffuse/internal/machine"
+	"diffuse/internal/serve"
 )
 
 func main() {
@@ -61,8 +69,21 @@ func main() {
 		compareTol = flag.Float64("comparetol", bench.DefaultCompareTolerance, "allowed fractional regression of ratio metrics before -compare fails")
 		ranksFlag  = flag.Int("ranks", 0, "run the multi-process distributed quick bench at this rank count (times ranks=N vs in-process shards=N and verifies bit-identity)")
 		transport  = flag.String("transport", "", "peer transport for -ranks: unix (default) or tcp")
+		serveFlag  = flag.Bool("serve", false, "run the multi-tenant service-mode bench: streams/sec at each -tenants count against one in-process diffuse-serve")
+		tenants    = flag.String("tenants", "1,4,16", "comma-separated tenant counts for -serve")
+		streams    = flag.Int("streams", 8, "submissions per tenant for -serve")
 	)
 	flag.Parse()
+
+	if *serveFlag {
+		counts := parseCounts(*tenants, "tenant")
+		req := serve.SubmitRequest{Workload: "chain", N: 4096, Iters: 6}
+		if _, err := bench.RunServeBench(counts, *streams, req, *realProcs, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ranksFlag > 0 {
 		if err := bench.RunDistBench(*ranksFlag, *transport, os.Stdout); err != nil {
@@ -186,11 +207,15 @@ func main() {
 }
 
 func parseGPUs(s string) []int {
+	return parseCounts(s, "gpu")
+}
+
+func parseCounts(s, what string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "bad gpu count %q\n", part)
+			fmt.Fprintf(os.Stderr, "bad %s count %q\n", what, part)
 			os.Exit(2)
 		}
 		out = append(out, v)

@@ -39,7 +39,7 @@ type Array struct {
 // newArray allocates a fresh store-backed array of the given element type;
 // the handle holds the store's single application reference.
 func (c *Context) newArray(name string, dt DType, shape []int, ephemeral bool) *Array {
-	st := c.rt.NewStoreTyped(name, shape, dt)
+	st := c.sess.NewStoreTyped(name, shape, dt)
 	return &Array{
 		ctx:       c,
 		store:     st,

@@ -1,0 +1,137 @@
+// Command serve demonstrates Diffuse's multi-tenant service mode end to
+// end: three tenants submit identical workload streams concurrently, the
+// results are verified bit-identical to a solo (single-tenant, private
+// runtime) run of the same workloads, and the per-tenant plan-cache
+// counters show the later tenants riding compiled plans the first tenant's
+// misses populated — the shared-plan-cache contract of docs/SERVING.md.
+//
+// With no flags it is self-contained: it starts an in-process server on an
+// automatic unix socket, runs the demo against it, and shuts down. Point
+// it at an external diffuse-serve with flags instead:
+//
+//	diffuse-serve -transport tcp -addr 127.0.0.1:7432 &
+//	go run ./examples/serve -transport tcp -addr 127.0.0.1:7432
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"diffuse/internal/serve"
+	"diffuse/internal/serve/serveclient"
+)
+
+var workloads = []serve.SubmitRequest{
+	{Workload: "chain", N: 4096, Iters: 6},
+	{Workload: "stencil", N: 64, Iters: 4},
+	{Workload: "jacobi", N: 96, Iters: 3},
+}
+
+func main() {
+	var (
+		transport = flag.String("transport", "", "dial transport of an external server: unix | tcp")
+		addr      = flag.String("addr", "", "address of an external diffuse-serve; empty starts an in-process server")
+	)
+	flag.Parse()
+
+	dialTransport, dialAddr := *transport, *addr
+	if dialAddr == "" {
+		// Self-contained mode: bring up our own server on a unix socket.
+		srv, err := serve.New(serve.Config{Procs: 2})
+		if err != nil {
+			fail("start server: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve() }()
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fail("server close: %v", err)
+			}
+			if err := <-done; err != nil {
+				fail("serve loop: %v", err)
+			}
+			fmt.Println("server shut down cleanly")
+		}()
+		dialTransport, dialAddr = srv.Transport(), srv.Addr()
+		fmt.Printf("in-process server on %s %s\n", dialTransport, dialAddr)
+	} else {
+		fmt.Printf("dialing external server on %s %s\n", dialTransport, dialAddr)
+	}
+
+	// The solo oracle: each workload on a fresh private runtime.
+	want := make([]string, len(workloads))
+	for i, req := range workloads {
+		res, err := serve.RunWorkloadLocal(2, req)
+		if err != nil {
+			fail("solo %s: %v", req.Workload, err)
+		}
+		want[i] = res.Digest
+	}
+
+	// Three tenants, concurrently, each submitting every workload.
+	tenants := []string{"ada", "grace", "edsger"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tenants))
+	for _, name := range tenants {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			c, err := serveclient.Dial(dialTransport, dialAddr, name)
+			if err != nil {
+				errs <- fmt.Errorf("%s: dial: %w", name, err)
+				return
+			}
+			defer c.Close()
+			for i, req := range workloads {
+				res, err := c.Submit(req)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %s: %w", name, req.Workload, err)
+					return
+				}
+				if res.Digest != want[i] {
+					errs <- fmt.Errorf("%s: %s digest %s != solo %s", name, req.Workload, res.Digest, want[i])
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fail("%v", err)
+	}
+	fmt.Printf("3 tenants x %d workloads: all digests bit-identical to solo runs\n", len(workloads))
+
+	// Prove the sharing: fetch the per-tenant plan-cache split.
+	c, err := serveclient.Dial(dialTransport, dialAddr, "observer")
+	if err != nil {
+		fail("observer dial: %v", err)
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		fail("stats: %v", err)
+	}
+	var hits, misses int64
+	fmt.Println("tenant            plan hits  plan misses  program hits  program misses")
+	for _, ts := range snap.Tenants {
+		if ts.Tenant == "observer" {
+			continue
+		}
+		fmt.Printf("%-16s %10d %12d %13d %15d\n", ts.Tenant, ts.PlanHits, ts.PlanMisses, ts.ProgramHits, ts.ProgramMisses)
+		hits += ts.PlanHits
+		misses += ts.PlanMisses
+	}
+	if hits == 0 {
+		fail("no cross-tenant plan-cache hits: identical streams should share compiled plans")
+	}
+	fmt.Printf("shared plan cache: %d hits amortized %d misses across tenants (%d programs cached)\n",
+		hits, misses, snap.ProgramsCached)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "examples/serve: "+format+"\n", args...)
+	os.Exit(1)
+}

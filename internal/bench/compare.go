@@ -36,17 +36,19 @@ type compareKey struct {
 	Feedback  bool
 	DType     string
 	Fused     bool
+	Tenants   int
 }
 
 func keyOf(r RealResult) compareKey {
 	return compareKey{App: r.App, Size: r.Size, N: r.N, Shards: r.Shards,
 		Ranks: r.Ranks, Wavefront: r.Wavefront, Codegen: r.Codegen,
-		Feedback: r.Feedback, DType: r.DType, Fused: r.Fused}
+		Feedback: r.Feedback, DType: r.DType, Fused: r.Fused,
+		Tenants: r.Tenants}
 }
 
 func (k compareKey) String() string {
-	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/cg=%v/fb=%v/%s/fused=%v",
-		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.Codegen, k.Feedback, k.DType, k.Fused)
+	return fmt.Sprintf("%s/%s/n=%d/shards=%d/ranks=%d/wf=%v/cg=%v/fb=%v/%s/fused=%v/tenants=%d",
+		k.App, k.Size, k.N, k.Shards, k.Ranks, k.Wavefront, k.Codegen, k.Feedback, k.DType, k.Fused, k.Tenants)
 }
 
 // CompareRealSuites validates both documents against the current schema,
@@ -140,6 +142,13 @@ func CompareRealSuites(freshData, committedData []byte, tol float64, w io.Writer
 		// transport collapse (a lost pipeline is far more than a 4x swing)
 		// without flaking on scheduler variance.
 		check("ranks-vs-1", fr.RankSpeedupVs1, cr.RankSpeedupVs1, 3*tol)
+		// The serve ratio divides aggregate throughputs measured against two
+		// separately-started servers, and multi-tenant throughput moves with
+		// the runner's core count and background load — triple the floor,
+		// like the rank ratio: the gate still catches a multiplexing
+		// collapse (a serialized front end drops 16-tenant scaling to ~1x)
+		// without flaking on scheduler variance.
+		check("serve-vs-1tenant", fr.ServeSpeedupVs1Tenant, cr.ServeSpeedupVs1Tenant, 3*tol)
 	}
 	if matched == 0 {
 		return 0, fmt.Errorf("bench: no fresh row matched any committed row — presets out of sync")

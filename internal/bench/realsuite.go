@@ -21,6 +21,7 @@ import (
 	"diffuse/internal/core"
 	"diffuse/internal/legion"
 	"diffuse/internal/machine"
+	"diffuse/internal/serve"
 )
 
 // RealSchema versions the BENCH_real.json layout; bump it when fields
@@ -45,8 +46,13 @@ import (
 // inline routing, the backend pick, and wavefront dispatch order, vs the
 // static machine model) and the feedback-vs-static ratio on feedback rows
 // with a static-schedule twin; gomaxprocs is now stamped from the value
-// in effect while measuring, not at header construction.
-const RealSchema = "diffuse-bench-real/v7"
+// in effect while measuring, not at header construction. v8 added the
+// tenants column (multi-tenant service-mode rows: N concurrent tenants
+// submitting identical workload streams to one diffuse-serve front end,
+// 0 = not a serve row), the streams/sec throughput and shared-plan-cache
+// hit/miss counters on serve rows, and the serve-speedup-vs-1-tenant
+// ratio on multi-tenant rows.
+const RealSchema = "diffuse-bench-real/v8"
 
 // RealResult is one measured row of the real-mode suite.
 type RealResult struct {
@@ -74,6 +80,11 @@ type RealResult struct {
 	DType    string `json:"dtype"` // element type of the app's arrays (f64/f32)
 	Fused    bool   `json:"fused"` // Diffuse fusion enabled
 	Iters    int    `json:"iters"` // timed iterations
+	// Tenants reports multi-tenant service-mode rows: this many concurrent
+	// tenants submitted identical workload streams to one in-process
+	// diffuse-serve front end (iters is then streams per tenant, and the
+	// ns/iter columns are ns per stream). 0 = not a serve row.
+	Tenants int `json:"tenants"`
 
 	ChunkedNsPerIter  float64 `json:"chunked_ns_per_iter"`
 	PerPointNsPerIter float64 `json:"perpoint_ns_per_iter"`
@@ -119,6 +130,23 @@ type RealResult struct {
 	// this app/size, >1 when feedback wins. Both rows compute bit-identical
 	// results, so the ratio prices pure scheduling quality.
 	FeedbackSpeedupVsStatic float64 `json:"feedback_speedup_vs_static,omitempty"`
+
+	// StreamsPerSec (serve rows only) is the aggregate submission
+	// throughput across all tenants of the row.
+	StreamsPerSec float64 `json:"streams_per_sec,omitempty"`
+
+	// ServePlanCacheHits / ServePlanCacheMisses (serve rows only) aggregate
+	// the per-tenant shared-compiled-plan-cache counters over the row's run
+	// (warmup included). Hits > 0 on a multi-tenant row is the measured
+	// proof that identical streams from different tenants share plans.
+	ServePlanCacheHits   int64 `json:"serve_plan_cache_hits,omitempty"`
+	ServePlanCacheMisses int64 `json:"serve_plan_cache_misses,omitempty"`
+
+	// ServeSpeedupVs1Tenant (tenants > 1 rows only) is this row's
+	// streams/sec divided by the matching tenants=1 row's — the aggregate
+	// throughput gain from multiplexing tenants onto one runtime, >1 when
+	// the front end actually overlaps their work.
+	ServeSpeedupVs1Tenant float64 `json:"serve_speedup_vs_1tenant,omitempty"`
 
 	TasksPerIter float64 `json:"tasks_per_iter"` // index tasks reaching legion
 	// FusionRatio is the fraction of submitted tasks folded into fusions
@@ -348,6 +376,43 @@ func tinyCases() []realCase {
 	}
 }
 
+// serveCase is one service-mode throughput configuration: the workload
+// stream every tenant submits, how many streams each tenant submits, and
+// the tenant counts to sweep.
+type serveCase struct {
+	size    string
+	req     serve.SubmitRequest
+	streams int
+	tenants []int
+}
+
+// serveCases returns the service-mode rows of a preset. Like realCases,
+// "full" includes the tiny configuration so the committed trajectory has
+// exact identity matches for CI's fresh tiny run.
+func serveCases(preset string) []serveCase {
+	switch preset {
+	case "full":
+		return append([]serveCase{{
+			size:    "medium",
+			req:     serve.SubmitRequest{Workload: "chain", N: 4096, Iters: 6},
+			streams: 16,
+			tenants: []int{1, 4, 16},
+		}}, serveCases("tiny")...)
+	case "tiny":
+		// 16 streams per tenant: the 1-tenant row is latency-bound, so a
+		// shorter window is noise-dominated and can spuriously beat the
+		// multi-tenant rows the gate expects to win.
+		return []serveCase{{
+			size:    "tiny",
+			req:     serve.SubmitRequest{Workload: "chain", N: 1024, Iters: 4},
+			streams: 16,
+			tenants: []int{1, 4, 16},
+		}}
+	default:
+		return nil
+	}
+}
+
 // realContext builds a ModeReal cunum context with the given fusion,
 // executor, sharding, drain-scheduler, kernel-backend, and feedback
 // settings.
@@ -549,6 +614,38 @@ func RunRealSuite(preset string, procs int, w io.Writer) (*RealSuite, error) {
 				res.PerPointNsPerIter, res.Speedup, vsF64, vsUnsharded, vsBarrier, vsRank1, vsInterp, vsStatic, res.TasksPerIter, res.FusionRatio*100)
 		}
 	}
+	// Service-mode rows: aggregate streams/sec at each tenant count against
+	// one in-process diffuse-serve front end. These are throughput rows,
+	// not executor comparisons — both ns columns carry ns/stream, the
+	// within-row speedup is definitionally 1, and the cross-row ratio is
+	// serve-speedup-vs-1-tenant (computed within one case, one machine, one
+	// run, like every other gated ratio).
+	for _, sc := range serveCases(preset) {
+		points, err := RunServeBench(sc.tenants, sc.streams, sc.req, procs, w)
+		if err != nil {
+			return nil, err
+		}
+		var oneTenant float64
+		for _, p := range points {
+			res := RealResult{
+				App: "Serve-Chain", Size: sc.size, N: sc.req.N, Procs: procs,
+				Shards: 1, Wavefront: true, Codegen: true, Feedback: true,
+				DType: "f64", Fused: true,
+				Iters: sc.streams, Tenants: p.Tenants,
+				ChunkedNsPerIter: p.NsPerStream, PerPointNsPerIter: p.NsPerStream,
+				Speedup:              1,
+				StreamsPerSec:        p.StreamsPerSec,
+				ServePlanCacheHits:   p.PlanHits,
+				ServePlanCacheMisses: p.PlanMisses,
+			}
+			if p.Tenants == 1 {
+				oneTenant = p.StreamsPerSec
+			} else if oneTenant > 0 {
+				res.ServeSpeedupVs1Tenant = p.StreamsPerSec / oneTenant
+			}
+			suite.Results = append(suite.Results, res)
+		}
+	}
 	// Satellite of the measurement contract: gomaxprocs records the value
 	// in effect *while* measuring, so a harness that adjusts parallelism
 	// after building the suite header can never stamp a stale count into
@@ -592,13 +689,14 @@ func fbMark(b bool) string {
 
 // realResultKeys are the per-row fields the schema gate requires
 // ("f32_speedup_vs_f64", "shard_speedup_vs_1", "rank_speedup_vs_1",
-// "wavefront_speedup_vs_barrier", "codegen_speedup_vs_interp", and
-// "feedback_speedup_vs_static" are optional: they only appear on f32,
-// shards>1, ranks>0, barrier-twinned wavefront, interpreter-twinned
-// codegen, and static-twinned feedback rows respectively).
+// "wavefront_speedup_vs_barrier", "codegen_speedup_vs_interp",
+// "feedback_speedup_vs_static", and the serve fields are optional: they
+// only appear on f32, shards>1, ranks>0, barrier-twinned wavefront,
+// interpreter-twinned codegen, static-twinned feedback, and tenants>0
+// rows respectively).
 var realResultKeys = []string{
 	"app", "size", "n", "procs", "shards", "ranks", "wavefront", "codegen",
-	"feedback", "dtype", "fused", "iters", "chunked_ns_per_iter",
+	"feedback", "dtype", "fused", "iters", "tenants", "chunked_ns_per_iter",
 	"perpoint_ns_per_iter", "speedup", "tasks_per_iter", "fusion_ratio",
 }
 
@@ -658,6 +756,22 @@ func ValidateRealSuite(data []byte) error {
 		}
 		if r.DType != "f64" && r.DType != "f32" {
 			return fmt.Errorf("bench: result %d has unknown dtype %q", i, r.DType)
+		}
+		if r.Tenants < 0 {
+			return fmt.Errorf("bench: result %d has tenant count %d, want >= 0", i, r.Tenants)
+		}
+		if r.Tenants > 0 {
+			if r.StreamsPerSec <= 0 {
+				return fmt.Errorf("bench: result %d is a serve row without a streams/sec measurement", i)
+			}
+			if r.ServePlanCacheHits <= 0 {
+				return fmt.Errorf("bench: result %d is a serve row with no shared-plan-cache hits (identical streams must share compiled plans)", i)
+			}
+		} else if r.StreamsPerSec != 0 || r.ServePlanCacheHits != 0 || r.ServePlanCacheMisses != 0 || r.ServeSpeedupVs1Tenant != 0 {
+			return fmt.Errorf("bench: result %d is not a serve row but carries serve metrics", i)
+		}
+		if r.ServeSpeedupVs1Tenant != 0 && r.Tenants <= 1 {
+			return fmt.Errorf("bench: result %d carries a serve-vs-1-tenant ratio at tenants=%d (only multi-tenant rows are measured against the 1-tenant twin)", i, r.Tenants)
 		}
 		if r.ChunkedNsPerIter <= 0 || r.PerPointNsPerIter <= 0 || r.Speedup <= 0 {
 			return fmt.Errorf("bench: result %d has non-positive measurements", i)

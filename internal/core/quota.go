@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"diffuse/internal/ir"
+)
+
+// Quota is a byte budget over live stores. A serving front end creates one
+// Quota per tenant and attaches it (SetQuota) to every session that tenant
+// submits through; allocations made via Session.NewStore / NewStoreTyped
+// charge the budget and fail with a *QuotaError once the limit would be
+// exceeded. The charge is released when the store dies (its last
+// application and runtime references drop) — so the quota measures live
+// bytes, including transient peaks inside a request, not cumulative
+// allocation.
+//
+// A Quota may be shared by any number of sessions (one tenant, many
+// connections); it is safe for concurrent use.
+type Quota struct {
+	limit int64 // immutable after NewQuota; <= 0 means unlimited
+
+	mu   sync.Mutex
+	used int64
+	peak int64
+}
+
+// NewQuota creates a quota capped at limitBytes of live store data.
+// A non-positive limit means unlimited (the quota still tracks usage).
+func NewQuota(limitBytes int64) *Quota { return &Quota{limit: limitBytes} }
+
+// Limit returns the byte cap (<= 0 means unlimited).
+func (q *Quota) Limit() int64 { return q.limit }
+
+// Used returns the bytes of live stores currently charged.
+func (q *Quota) Used() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.used
+}
+
+// Peak returns the high-water mark of charged bytes.
+func (q *Quota) Peak() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.peak
+}
+
+func (q *Quota) charge(n int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.limit > 0 && q.used+n > q.limit {
+		return &QuotaError{Need: n, Used: q.used, Limit: q.limit}
+	}
+	q.used += n
+	if q.used > q.peak {
+		q.peak = q.used
+	}
+	return nil
+}
+
+func (q *Quota) credit(n int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.used -= n
+	if q.used < 0 {
+		q.used = 0
+	}
+}
+
+// QuotaError reports an allocation that would exceed a session's memory
+// quota. Session.NewStoreTyped panics with a *QuotaError (allocation APIs
+// in this codebase do not return errors); servers recover it at the
+// submission boundary and turn it into a tenant-scoped failure.
+type QuotaError struct {
+	Need  int64 // bytes the rejected allocation asked for
+	Used  int64 // bytes of live stores already charged
+	Limit int64 // the quota's byte cap
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("core: allocation of %d bytes exceeds memory quota (%d of %d bytes in use)", e.Need, e.Used, e.Limit)
+}
+
+// storeCharge records which quota a store was charged against, and for how
+// many bytes, so the credit at store death goes back to the right tenant.
+type storeCharge struct {
+	q     *Quota
+	bytes int64
+}
+
+// creditQuota releases the quota charge of a store, if any. Idempotent:
+// the first call removes the registry entry, later calls find nothing.
+func (r *Runtime) creditQuota(id ir.StoreID) {
+	r.quotaMu.Lock()
+	c, ok := r.quotaOf[id]
+	if ok {
+		delete(r.quotaOf, id)
+	}
+	r.quotaMu.Unlock()
+	if ok {
+		c.q.credit(c.bytes)
+	}
+}
+
+// freeStore reclaims a dead store's region and releases its quota charge.
+// It is the single funnel all store-death paths go through, so quota
+// accounting cannot drift from region reclamation.
+func (r *Runtime) freeStore(id ir.StoreID) {
+	r.creditQuota(id)
+	r.leg.FreeStore(id)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"diffuse/internal/ir"
+	"diffuse/internal/kir"
+)
+
+func TestQuotaChargeCredit(t *testing.T) {
+	q := NewQuota(100)
+	if err := q.charge(60); err != nil {
+		t.Fatalf("charge 60: %v", err)
+	}
+	if err := q.charge(50); err == nil {
+		t.Fatal("charge past limit should fail")
+	} else {
+		var qe *QuotaError
+		if !errors.As(err, &qe) {
+			t.Fatalf("want *QuotaError, got %T", err)
+		}
+		if qe.Need != 50 || qe.Used != 60 || qe.Limit != 100 {
+			t.Fatalf("QuotaError fields = %+v", qe)
+		}
+	}
+	if err := q.charge(40); err != nil {
+		t.Fatalf("charge to exactly the limit: %v", err)
+	}
+	q.credit(100)
+	if q.Used() != 0 {
+		t.Fatalf("used = %d after full credit", q.Used())
+	}
+	if q.Peak() != 100 {
+		t.Fatalf("peak = %d, want 100", q.Peak())
+	}
+	// Unlimited quota still tracks usage.
+	u := NewQuota(0)
+	if err := u.charge(1 << 40); err != nil {
+		t.Fatalf("unlimited quota refused a charge: %v", err)
+	}
+}
+
+func TestSessionQuotaLifecycle(t *testing.T) {
+	r := New(DefaultConfig(2))
+	s := r.NewSession()
+	q := NewQuota(1024)
+	s.SetQuota(q)
+
+	// 64 float64s = 512 bytes, charged at allocation.
+	st := s.NewStore("a", []int{64})
+	if got := q.Used(); got != 512 {
+		t.Fatalf("used = %d after 512-byte store, want 512", got)
+	}
+	// A second 512-byte store fits exactly; a third must panic.
+	st2 := s.NewStore("b", []int{64})
+	func() {
+		defer func() {
+			p := recover()
+			qe, ok := p.(*QuotaError)
+			if !ok {
+				t.Fatalf("want *QuotaError panic, got %v", p)
+			}
+			if qe.Need != 512 || qe.Used != 1024 || qe.Limit != 1024 {
+				t.Fatalf("QuotaError fields = %+v", qe)
+			}
+		}()
+		s.NewStore("c", []int{64})
+	}()
+
+	// Releasing a store credits its charge through the freeStore funnel.
+	r.ReleaseStore(st)
+	if got := q.Used(); got != 512 {
+		t.Fatalf("used = %d after one release, want 512", got)
+	}
+	// ReclaimQuota force-frees the rest.
+	if freed := s.ReclaimQuota(); freed != 512 {
+		t.Fatalf("reclaimed %d bytes, want 512", freed)
+	}
+	if got := q.Used(); got != 0 {
+		t.Fatalf("used = %d after reclaim, want 0", got)
+	}
+	// Reclaim is idempotent and skips already-freed stores.
+	if freed := s.ReclaimQuota(); freed != 0 {
+		t.Fatalf("second reclaim freed %d bytes", freed)
+	}
+	_ = st2
+}
+
+func TestSessionAbortReleasesWindow(t *testing.T) {
+	r := New(DefaultConfig(2))
+	s := r.NewSession()
+	st := s.NewStore("x", []int{16})
+
+	// Buffer a task without flushing, then abort: the runtime reference
+	// submission took must be released so the store can die.
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{2})
+	task := &ir.Task{
+		Name:   "noop",
+		Launch: launch,
+		Args:   []ir.Arg{{Store: st, Priv: ir.ReadWrite, Part: ir.ReplicateOver(launch)}},
+		Kernel: kir.NewKernel("noop", 1),
+	}
+	s.Submit(task)
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Abort()
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after abort", s.Pending())
+	}
+	r.ReleaseStore(st)
+	if !st.Dead() {
+		t.Fatal("store still referenced after abort + app release")
+	}
+}
+
+func TestSessionCacheStatsAttribution(t *testing.T) {
+	r := New(DefaultConfig(2))
+	a := r.NewSession()
+	b := r.NewSession()
+
+	// Identical window shapes on two sessions: the first drain misses the
+	// shared memo and populates it; the second session's drains hit it.
+	launch := ir.MakeRect(ir.Point{0}, ir.Point{2})
+	emitChain := func(s *Session) {
+		st := s.NewStore("v", []int{32})
+		for i := 0; i < 8; i++ {
+			s.Submit(&ir.Task{
+				Name:   "inc",
+				Launch: launch,
+				Args:   []ir.Arg{{Store: st, Priv: ir.ReadWrite, Part: ir.ReplicateOver(launch)}},
+				Kernel: elemKernel(1, 0),
+			})
+		}
+		s.Flush()
+		r.ReleaseStore(st)
+	}
+	emitChain(a)
+	emitChain(b)
+	as, bs := a.CacheStats(), b.CacheStats()
+	if as.PlanMisses == 0 {
+		t.Fatalf("first session should have plan misses, got %+v", as)
+	}
+	if bs.PlanHits == 0 {
+		t.Fatalf("second session re-submitting an identical stream should hit the shared memo, got %+v", bs)
+	}
+}

@@ -164,6 +164,12 @@ type Runtime struct {
 	seq   int64
 	stats Stats
 
+	// quotaOf maps each quota-charged store to its tenant charge, so the
+	// credit at store death reaches the right Quota. Guarded by quotaMu
+	// (not mu: allocation happens outside the emission lock).
+	quotaMu sync.Mutex
+	quotaOf map[ir.StoreID]storeCharge
+
 	def *Session // default session backing Runtime.Submit / Runtime.Flush
 }
 
@@ -188,9 +194,10 @@ func New(cfg Config) *Runtime {
 		cfg.Wavefront = legion.WavefrontOn
 	}
 	r := &Runtime{
-		cfg:  cfg,
-		leg:  legion.New(cfg.Mode, cfg.Machine),
-		memo: map[string]*memoEntry{},
+		cfg:     cfg,
+		leg:     legion.New(cfg.Mode, cfg.Machine),
+		memo:    map[string]*memoEntry{},
+		quotaOf: map[ir.StoreID]storeCharge{},
 	}
 	r.leg.SetExecPolicy(cfg.Exec)
 	r.leg.SetShards(cfg.Shards)
@@ -280,7 +287,7 @@ func (r *Runtime) Reshard(s *ir.Store, n int) {
 func (r *Runtime) ReleaseStore(s *ir.Store) {
 	s.ReleaseApp()
 	if s.Dead() {
-		r.leg.FreeStore(s.ID())
+		r.freeStore(s.ID())
 	}
 }
 
@@ -311,7 +318,7 @@ func (r *Runtime) emit(t *ir.Task, origs []*ir.Task) {
 		for _, a := range o.Args {
 			a.Store.ReleaseRuntime()
 			if a.Store.Dead() {
-				r.leg.FreeStore(a.Store.ID())
+				r.freeStore(a.Store.ID())
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"diffuse/internal/ir"
 )
 
@@ -30,6 +32,147 @@ type Session struct {
 	// "no pending reader" condition reaches beyond the window being drained
 	// into the re-buffered remainder.
 	pinned map[ir.StoreID]bool
+
+	// quota, when set, is charged for every store this session allocates
+	// (Session.NewStore / NewStoreTyped) and credited when the store dies.
+	// Shared across all sessions of one tenant.
+	quota *Quota
+	// charged tracks stores this session charged to its quota, so
+	// ReclaimQuota can force-free leftovers after a failed submission.
+	charged map[ir.StoreID]int64
+
+	// Per-session plan-cache accounting, attributed from the runtime-wide
+	// counters across each window this session drains (atomics: another
+	// goroutine — a server's stats endpoint — reads them concurrently).
+	// planHits/planMisses count canonical-form memo lookups; progHits/
+	// progMisses count kernel-fingerprint program-cache lookups triggered
+	// while this session's windows compiled. A serving front end splits
+	// these by tenant to prove cross-tenant sharing of the compiled-plan
+	// cache.
+	planHits, planMisses atomic.Int64
+	progHits, progMisses atomic.Int64
+}
+
+// SessionCacheStats is a snapshot of one session's plan-cache accounting.
+type SessionCacheStats struct {
+	// PlanHits / PlanMisses count fusion-plan memo lookups (canonical
+	// window form; a hit replays a previously computed plan, including
+	// its compiled fused kernel).
+	PlanHits, PlanMisses int64
+	// ProgramHits / ProgramMisses count codegen program-cache lookups
+	// (kernel fingerprint) attributed to this session's window drains.
+	ProgramHits, ProgramMisses int64
+}
+
+// CacheStats returns this session's plan-cache accounting. Safe to call
+// from any goroutine.
+//
+// Attribution is per window drain: lookups are counted against the session
+// whose drain performed them, which is exact for memo lookups and for the
+// compilation of fused kernels (both happen inside the drain under the
+// runtime lock). Program-cache lookups that happen later, when the
+// executor compiles a single-task kernel on first execution, stay
+// unattributed.
+func (s *Session) CacheStats() SessionCacheStats {
+	return SessionCacheStats{
+		PlanHits:      s.planHits.Load(),
+		PlanMisses:    s.planMisses.Load(),
+		ProgramHits:   s.progHits.Load(),
+		ProgramMisses: s.progMisses.Load(),
+	}
+}
+
+// SetQuota attaches a memory quota to this session; subsequent allocations
+// through Session.NewStore / NewStoreTyped are charged against it. Pass
+// nil to detach. Multiple sessions may share one Quota (a tenant with
+// several connections); attach before the first allocation.
+func (s *Session) SetQuota(q *Quota) { s.quota = q }
+
+// Quota returns the quota attached to this session, or nil.
+func (s *Session) Quota() *Quota { return s.quota }
+
+// NewStore allocates a float64 store charged to this session's quota (when
+// one is attached). Like Runtime.NewStore, the store is shared: any
+// session may submit tasks against it.
+func (s *Session) NewStore(name string, shape []int) *ir.Store {
+	return s.NewStoreTyped(name, shape, ir.F64)
+}
+
+// NewStoreTyped allocates a store with an explicit element type, charged
+// to this session's quota. If the allocation would push the quota over its
+// limit, no store is created and NewStoreTyped panics with a *QuotaError —
+// allocation APIs in this codebase do not return errors; a serving front
+// end recovers the panic at its submission boundary and reports a
+// tenant-scoped failure.
+func (s *Session) NewStoreTyped(name string, shape []int, dtype ir.DType) *ir.Store {
+	if s.quota == nil {
+		return s.rt.NewStoreTyped(name, shape, dtype)
+	}
+	n := int64(dtype.Size())
+	for _, d := range shape {
+		n *= int64(d)
+	}
+	if err := s.quota.charge(n); err != nil {
+		panic(err)
+	}
+	st := s.rt.NewStoreTyped(name, shape, dtype)
+	r := s.rt
+	r.quotaMu.Lock()
+	r.quotaOf[st.ID()] = storeCharge{q: s.quota, bytes: n}
+	r.quotaMu.Unlock()
+	if s.charged == nil {
+		s.charged = map[ir.StoreID]int64{}
+	}
+	s.charged[st.ID()] = n
+	return st
+}
+
+// Abort discards every task still buffered in this session's window
+// without executing it, releasing the runtime references submission took.
+// A server calls it after a failed request so the dead half of an
+// abandoned stream never reaches the executor.
+func (s *Session) Abort() {
+	r := s.rt
+	for _, t := range s.window {
+		for _, a := range t.Args {
+			a.Store.ReleaseRuntime()
+			if a.Store.Dead() {
+				r.freeStore(a.Store.ID())
+			}
+		}
+	}
+	s.window = s.window[:0]
+	s.pinned = nil
+}
+
+// ReclaimQuota force-frees every store still charged to this session's
+// quota and returns the bytes recovered. After a successful, well-behaved
+// request nothing is left charged and this is a cheap bookkeeping prune;
+// after a failed or over-quota request it is the cleanup that guarantees a
+// tenant's next request starts from a clean budget. Call Abort first if
+// the window may still hold tasks referencing the charged stores.
+func (s *Session) ReclaimQuota() int64 {
+	if s.quota == nil || len(s.charged) == 0 {
+		return 0
+	}
+	r := s.rt
+	var freed int64
+	var dead []ir.StoreID
+	r.quotaMu.Lock()
+	for id := range s.charged {
+		if c, ok := r.quotaOf[id]; ok && c.q == s.quota {
+			delete(r.quotaOf, id)
+			freed += c.bytes
+			dead = append(dead, id)
+		}
+		delete(s.charged, id)
+	}
+	r.quotaMu.Unlock()
+	s.quota.credit(freed)
+	for _, id := range dead {
+		r.leg.FreeStore(id)
+	}
+	return freed
 }
 
 // NewSession creates an independent submission stream over the runtime's
@@ -181,6 +324,18 @@ func (s *Session) processOnce() {
 	r := s.rt
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Attribute this drain's plan-cache activity to the session: memo
+	// lookups and fused-kernel compilation both happen under r.mu, so the
+	// runtime-wide counter deltas across the drain belong to this window.
+	mh0, mm0 := r.stats.MemoHits, r.stats.MemoMisses
+	cg0 := r.leg.CodegenStatsSnapshot()
+	defer func() {
+		s.planHits.Add(r.stats.MemoHits - mh0)
+		s.planMisses.Add(r.stats.MemoMisses - mm0)
+		cg1 := r.leg.CodegenStatsSnapshot()
+		s.progHits.Add(cg1.CacheHits - cg0.CacheHits)
+		s.progMisses.Add(cg1.CacheMisses - cg0.CacheMisses)
+	}()
 	plan := r.analyze(s.window, s.pinned)
 	prefix := s.window[:plan.prefixLen]
 

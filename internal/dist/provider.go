@@ -77,6 +77,12 @@ func ParseAddrSet(s string, ranks int) (*AddrSet, error) {
 	return &AddrSet{Parent: parts[0], Ranks: parts[1:]}, nil
 }
 
+// ProviderFor resolves a transport selector ("unix", "tcp"; empty falls
+// back to DIFFUSE_DIST_TRANSPORT and then to unix) to its Provider. This
+// is the seam other subsystems — the serving front end — reuse to listen
+// and dial over the same transports the rank mesh supports.
+func ProviderFor(name string) (Provider, error) { return providerByName(name) }
+
 // providerByName resolves a transport selector; empty falls back to
 // DIFFUSE_DIST_TRANSPORT and then to unix.
 func providerByName(name string) (Provider, error) {

@@ -92,6 +92,15 @@ func (rt *Runtime) CodegenStatsSnapshot() CodegenStats {
 	}
 }
 
+// ProgramsCached returns the number of distinct compiled programs
+// resident in the fingerprint-keyed program cache — the shared asset a
+// multi-tenant server amortizes across tenants.
+func (rt *Runtime) ProgramsCached() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.progs)
+}
+
 // attachProgramLocked installs the codegen program for a freshly
 // compiled kernel, minting one on first sight of the fingerprint.
 // Callers hold rt.mu.
